@@ -1,0 +1,97 @@
+"""Ablation benchmarks for the calibrated design choices (DESIGN.md §6).
+
+The reproduction substitutes three substrates the paper does not publish in
+reusable form: the MWSR transmission/crosstalk model, the VCSEL thermal
+model and the synthesis flow.  These ablations vary the corresponding free
+parameters and check that the paper's headline conclusion (coding cuts the
+laser power roughly in half and extends the reachable BER range) is robust
+to the calibration, not an artefact of one parameter choice.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coding.hamming import ShortenedHammingCode
+from repro.coding.uncoded import UncodedScheme
+from repro.config import DEFAULT_CONFIG
+from repro.link.design import OpticalLinkDesigner
+
+
+def _reduction_at(config, target_ber=1e-11) -> float:
+    """Laser-power reduction of H(71,64) vs uncoded for one configuration."""
+    designer = OpticalLinkDesigner(config=config)
+    uncoded = designer.design_point(UncodedScheme(config.ip_bus_width_bits), target_ber)
+    coded = designer.design_point(ShortenedHammingCode(config.ip_bus_width_bits), target_ber)
+    return 1.0 - coded.laser_electrical_power_w / uncoded.laser_electrical_power_w
+
+
+def test_bench_ablation_waveguide_length(benchmark):
+    """The ~50% reduction holds across 2-10 cm worst-case waveguides."""
+
+    def sweep():
+        return {
+            length: _reduction_at(DEFAULT_CONFIG.with_overrides(waveguide_length_m=length))
+            for length in (0.02, 0.06, 0.10)
+        }
+
+    reductions = benchmark(sweep)
+    for length, reduction in reductions.items():
+        assert 0.35 < reduction < 0.70, f"length {length} m"
+
+
+def test_bench_ablation_extinction_ratio(benchmark):
+    """The reduction holds for 4-12 dB modulator extinction ratios."""
+
+    def sweep():
+        return {
+            er: _reduction_at(DEFAULT_CONFIG.with_overrides(extinction_ratio_db=er))
+            for er in (4.0, 6.9, 12.0)
+        }
+
+    reductions = benchmark(sweep)
+    for er, reduction in reductions.items():
+        assert 0.35 < reduction < 0.70, f"ER {er} dB"
+
+
+def test_bench_ablation_laser_efficiency(benchmark):
+    """The reduction holds whether the VCSEL is 4% or 10% efficient.
+
+    The *absolute* laser power scales with the efficiency, but the relative
+    coding gain does not: it comes from the SNR relaxation, which is why the
+    paper's conclusion survives our laser-model substitution.
+    """
+
+    def sweep():
+        return {
+            eta: _reduction_at(
+                DEFAULT_CONFIG.with_overrides(
+                    laser_base_efficiency=eta,
+                    # Keep the operating points within the 700 uW rating by
+                    # relaxing the target when the laser is weak.
+                ),
+                target_ber=1e-9,
+            )
+            for eta in (0.04, 0.065, 0.10)
+        }
+
+    reductions = benchmark(sweep)
+    for eta, reduction in reductions.items():
+        assert 0.30 < reduction < 0.70, f"efficiency {eta}"
+
+
+def test_bench_ablation_channel_population(benchmark):
+    """More ONIs / wavelengths increase losses and crosstalk but not the trend."""
+
+    def sweep():
+        results = {}
+        for num_onis, num_wavelengths in ((4, 8), (12, 16), (24, 32)):
+            config = DEFAULT_CONFIG.with_overrides(
+                num_onis=num_onis, num_wavelengths=num_wavelengths
+            )
+            results[(num_onis, num_wavelengths)] = _reduction_at(config, target_ber=1e-9)
+        return results
+
+    reductions = benchmark(sweep)
+    for key, reduction in reductions.items():
+        assert 0.30 < reduction < 0.70, f"geometry {key}"

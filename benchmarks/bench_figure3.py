@@ -1,0 +1,21 @@
+"""Benchmark ``figure3``: micro-ring ON/OFF transmission spectra.
+
+Paper artefact: Figure 3 (optical transmission of the modulator ring in ON
+and OFF states; the gap at the signal wavelength is the 6.9 dB extinction
+ratio).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure3 import run_figure3
+
+
+def test_bench_figure3_spectra(benchmark):
+    """Time the spectrum sampling and check the extinction ratio."""
+    result = benchmark(run_figure3)
+    assert result.achieved_extinction_db == pytest.approx(6.9, abs=0.3)
+    # Both curves dip below -3 dB near resonance, as in the paper's figure.
+    assert result.on_transmission_db.min() < -3.0
+    assert result.off_transmission_db.min() < -3.0

@@ -1,0 +1,33 @@
+"""Benchmark ``figure4``: laser electrical power vs emitted optical power.
+
+Paper artefact: Figure 4 (P_laser against OP_laser at 25% chip activity:
+linear below ~500 uW, super-linear above, 700 uW maximum deliverable).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.figure4 import run_figure4
+
+
+def test_bench_figure4_curve(benchmark):
+    """Time the Figure 4 sweep and validate the curve's shape."""
+    result = benchmark(run_figure4)
+    assert np.all(np.diff(result.laser_power_mw) > 0)
+    assert result.linearity_error_below_500uw < 0.25
+    assert result.max_deliverable_uw == pytest.approx(700.0)
+    # The laser costs on the order of 10-18 mW near its maximum output,
+    # matching the magnitude the paper plots.
+    idx_700 = int(np.argmin(np.abs(result.optical_power_uw - 700.0)))
+    assert 10.0 < result.laser_power_mw[idx_700] < 20.0
+
+
+def test_bench_laser_model_single_point(benchmark, paper_config):
+    """Micro-benchmark of a single laser operating-point solve."""
+    from repro.photonics.laser import VCSELModel
+
+    laser = VCSELModel.from_config(paper_config)
+    point = benchmark(laser.operating_point, 400e-6)
+    assert point.electrical_power_w > 0

@@ -1,0 +1,50 @@
+"""Benchmark ``figure5``: laser power vs target BER per coding scheme.
+
+Paper artefact: Figure 5 (P_laser for BER targets 1e-3..1e-12 for w/o ECC,
+H(71,64) and H(7,4); the uncoded curve is the highest and becomes infeasible
+at 1e-12).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure5 import run_figure5
+
+
+def test_bench_figure5_sweep(benchmark):
+    """Time the full Figure 5 sweep and validate the curves' shape."""
+    result = benchmark(run_figure5)
+
+    uncoded = result.laser_power_mw("w/o ECC")
+    h71 = result.laser_power_mw("H(71,64)")
+    h74 = result.laser_power_mw("H(7,4)")
+
+    # Who wins: the coded schemes need less laser power at every feasible point.
+    for index in range(len(result.target_bers) - 1):  # last uncoded point is NaN
+        assert h71[index] < uncoded[index]
+        assert h74[index] < uncoded[index]
+
+    # By what factor: about 2x at BER 1e-11 (the paper's ~50% reduction).
+    point_uncoded = result.point_at("w/o ECC", 1e-11)
+    point_h71 = result.point_at("H(71,64)", 1e-11)
+    ratio = point_h71.laser_electrical_power_w / point_uncoded.laser_electrical_power_w
+    assert 0.40 < ratio < 0.60
+
+    # Where the cliff falls: only the uncoded scheme is infeasible, at 1e-12.
+    assert not result.point_at("w/o ECC", 1e-12).feasible
+    assert result.point_at("H(71,64)", 1e-12).feasible
+    assert result.point_at("H(7,4)", 1e-12).feasible
+
+    # Absolute anchor points stay within 20% of the paper's values.
+    assert point_uncoded.laser_power_mw == pytest.approx(14.35, rel=0.20)
+    assert point_h71.laser_power_mw == pytest.approx(7.12, rel=0.20)
+
+
+def test_bench_single_operating_point(benchmark, designer):
+    """Micro-benchmark of one (code, BER) -> laser power solve."""
+    from repro.coding.hamming import ShortenedHammingCode
+
+    code = ShortenedHammingCode(64)
+    point = benchmark(designer.design_point, code, 1e-11)
+    assert point.feasible

@@ -1,0 +1,52 @@
+"""Benchmark ``figure6a``: channel power breakdown at BER 1e-11.
+
+Paper artefact: Figure 6a (per-wavelength P_enc+dec / P_MR / P_laser bars for
+w/o ECC, H(71,64) and H(7,4); the lasers draw 92% of the uncoded channel and
+the coded schemes cut the total by ~45-49%) plus the Section V-C energy-per-
+bit discussion.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure6 import run_figure6a
+
+
+def test_bench_figure6a_breakdown(benchmark):
+    """Time the Figure 6a computation and validate the power structure."""
+    result = benchmark(run_figure6a)
+
+    uncoded = result.breakdowns["w/o ECC"]
+    h71 = result.breakdowns["H(71,64)"]
+    h74 = result.breakdowns["H(7,4)"]
+
+    # The laser dominates the uncoded channel (92% in the paper).
+    assert uncoded.laser_share == pytest.approx(0.92, abs=0.02)
+
+    # The coded schemes cut the channel power roughly in half.
+    assert result.power_reduction_vs_uncoded("H(71,64)") == pytest.approx(0.45, abs=0.10)
+    assert result.power_reduction_vs_uncoded("H(7,4)") == pytest.approx(0.49, abs=0.10)
+
+    # The modulator contribution is identical across schemes (1.36 mW).
+    for breakdown in (uncoded, h71, h74):
+        assert breakdown.modulator_power_w == pytest.approx(1.36e-3)
+
+    # Per-waveguide totals land near the paper's 251 mW / 136 mW.
+    assert uncoded.total_power_mw * 16 == pytest.approx(251.0, rel=0.10)
+    assert h71.total_power_mw * 16 == pytest.approx(136.0, rel=0.10)
+
+    # H(71,64) is the most energy-efficient scheme.
+    energies = {
+        name: metrics.energy_per_bit_modulation_j for name, metrics in result.energies.items()
+    }
+    assert min(energies, key=energies.get) == "H(71,64)"
+
+
+def test_bench_channel_power_single_scheme(benchmark):
+    """Micro-benchmark of a single channel-power breakdown."""
+    from repro.coding.hamming import HammingCode
+    from repro.power.channel import channel_power_breakdown
+
+    breakdown = benchmark(channel_power_breakdown, HammingCode(3), 1e-11)
+    assert breakdown.total_power_w > 0

@@ -1,0 +1,54 @@
+"""Benchmark ``figure6b``: power vs communication-time Pareto trade-off.
+
+Paper artefact: Figure 6b (per-wavelength channel power against the
+communication-time overhead of each scheme for BER targets 1e-6..1e-12; all
+coding schemes sit on the Pareto front of their BER column).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure6 import run_figure6b
+
+
+def test_bench_figure6b_pareto(benchmark):
+    """Time the Figure 6b sweep and validate the Pareto structure."""
+    result = benchmark(run_figure6b)
+
+    for ber in result.target_bers:
+        points = result.points_for_ber(ber)
+        front = result.front_for_ber(ber)
+        # Every feasible scheme is Pareto-optimal at its own CT (paper's claim).
+        assert {p.code_name for p in front} == {p.code_name for p in points}
+        # Power decreases along the front as the communication time grows.
+        ordered = sorted(front, key=lambda p: p.communication_time)
+        powers = [p.channel_power_w for p in ordered]
+        assert all(a >= b for a, b in zip(powers, powers[1:]))
+
+    # At 1e-12 the uncoded scheme is absent (infeasible), so the cloud shrinks.
+    names_at_1e12 = {p.code_name for p in result.points_for_ber(1e-12)}
+    assert names_at_1e12 == {"H(71,64)", "H(7,4)"}
+
+    # Stricter BER targets cost more channel power for every scheme.
+    relaxed = {p.code_name: p.channel_power_w for p in result.points_for_ber(1e-6)}
+    strict = {p.code_name: p.channel_power_w for p in result.points_for_ber(1e-10)}
+    for name in ("H(71,64)", "H(7,4)", "w/o ECC"):
+        assert strict[name] > relaxed[name]
+
+
+def test_bench_pareto_front_extraction(benchmark):
+    """Micro-benchmark of the Pareto-front computation on a larger cloud."""
+    from repro.manager.pareto import ParetoPoint, pareto_front
+
+    points = [
+        ParetoPoint(
+            code_name=f"c{i}",
+            target_ber=1e-9,
+            communication_time=1.0 + (i % 37) / 36.0,
+            channel_power_w=0.005 + ((i * 7919) % 101) / 101.0 * 0.015,
+        )
+        for i in range(500)
+    ]
+    front = benchmark(pareto_front, points)
+    assert 0 < len(front) <= len(points)

@@ -1,0 +1,96 @@
+"""Benchmarks of the substrate layers (not tied to one figure).
+
+These time the building blocks the experiments lean on — Hamming
+encode/decode throughput, BCH decoding, the Monte-Carlo link simulator and
+the managed runtime — so performance regressions in the substrates are
+visible independently of the figure-level benches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coding.bch import BCHCode
+from repro.coding.hamming import HammingCode, ShortenedHammingCode
+from repro.coding.montecarlo import estimate_ber_monte_carlo
+from repro.link.design import OpticalLinkDesigner
+from repro.manager.manager import CommunicationRequest, OpticalLinkManager
+from repro.simulation.linksim import OpticalLinkSimulator
+
+
+def test_bench_hamming_encode_stream(benchmark):
+    """Encode throughput of the H(71,64) coder on a long bit stream."""
+    code = ShortenedHammingCode(64)
+    rng = np.random.default_rng(0)
+    stream = rng.integers(0, 2, size=64 * 256, dtype=np.uint8)
+    encoded = benchmark(code.encode, stream)
+    assert encoded.size == 71 * 256
+
+
+def test_bench_hamming_decode_with_errors(benchmark):
+    """Decode throughput of H(7,4) with one injected error per block."""
+    code = HammingCode(3)
+    rng = np.random.default_rng(1)
+    stream = rng.integers(0, 2, size=4 * 512, dtype=np.uint8)
+    encoded = code.encode(stream)
+    corrupted = encoded.copy().reshape(-1, 7)
+    corrupted[:, 2] ^= 1
+    corrupted = corrupted.reshape(-1)
+
+    def decode():
+        return code.decode(corrupted)
+
+    decoded = benchmark(decode)
+    assert np.array_equal(decoded, stream)
+
+
+def test_bench_bch_double_error_decode(benchmark):
+    """Algebraic decoding speed of BCH(63,51,t=2) with two errors."""
+    code = BCHCode(6, 2)
+    rng = np.random.default_rng(2)
+    message = rng.integers(0, 2, size=code.k, dtype=np.uint8)
+    codeword = code.encode_block(message)
+    corrupted = codeword.copy()
+    corrupted[5] ^= 1
+    corrupted[40] ^= 1
+    result = benchmark(code.decode_block, corrupted)
+    assert np.array_equal(result.message_bits, message)
+
+
+def test_bench_monte_carlo_ber(benchmark):
+    """Monte-Carlo BER estimation throughput (H(7,4), 500 blocks)."""
+    code = HammingCode(3)
+    rng = np.random.default_rng(3)
+    result = benchmark(
+        estimate_ber_monte_carlo, code, 0.01, num_blocks=500, rng=rng
+    )
+    assert result.blocks_simulated == 500
+
+
+def test_bench_link_simulator(benchmark):
+    """Bit-level optical link simulation throughput (300 blocks)."""
+    designer = OpticalLinkDesigner()
+    code = ShortenedHammingCode(64)
+    point = designer.design_point(code, 1e-3)
+
+    def run():
+        simulator = OpticalLinkSimulator(code, point, rng=np.random.default_rng(4))
+        return simulator.run(num_blocks=300)
+
+    result = benchmark(run)
+    assert result.blocks_simulated == 300
+
+
+def test_bench_manager_configuration(benchmark):
+    """Latency of one manager configuration request (warm cache)."""
+    manager = OpticalLinkManager()
+    manager.configure(CommunicationRequest(source=1, destination=0, target_ber=1e-11))
+
+    def configure():
+        return manager.configure(
+            CommunicationRequest(source=2, destination=0, target_ber=1e-11)
+        )
+
+    configuration = benchmark(configure)
+    assert configuration.code_name in {"w/o ECC", "H(71,64)", "H(7,4)"}

@@ -1,0 +1,31 @@
+"""Benchmark ``table1``: regenerate the synthesis table of the interfaces.
+
+Paper artefact: Table I (area, critical path, static/dynamic power of the
+transmitter and receiver interfaces for no-ECC, H(7,4) and H(71,64) modes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table1 import run_table1
+
+
+def test_bench_table1_regeneration(benchmark):
+    """Time the Table I regeneration and validate its totals."""
+    result = benchmark(run_table1)
+    # The library-backed totals must match the paper; the parametric
+    # estimates must stay in the same ballpark.
+    library = [c for c in result.comparisons if not c.quantity.startswith("parametric")]
+    assert max(abs(c.relative_error) for c in library) < 0.01
+    assert result.report.transmitter_area_um2 == pytest.approx(2013.0)
+    assert result.report.receiver_area_um2 == pytest.approx(3050.0)
+
+
+def test_bench_table1_parametric_estimation(benchmark):
+    """Time the parametric (non-library) synthesis estimation path."""
+    from repro.interfaces.synthesis import synthesize_interfaces
+
+    report = benchmark(synthesize_interfaces, parametric=True)
+    assert report.transmitter_area_um2 > 0
+    assert report.receiver_area_um2 > report.transmitter_area_um2

@@ -1,0 +1,35 @@
+"""Shared fixtures for the pytest-benchmark harness.
+
+Each ``bench_*.py`` file regenerates one table or figure of the paper, both
+timing the computation (pytest-benchmark) and asserting that the regenerated
+values keep the paper's shape (who wins, by roughly what factor, where the
+feasibility cliff sits).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.config import DEFAULT_CONFIG  # noqa: E402
+from repro.link.design import OpticalLinkDesigner  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def paper_config():
+    """The paper's default evaluation configuration."""
+    return DEFAULT_CONFIG
+
+
+@pytest.fixture(scope="session")
+def designer():
+    """Session-cached link designer."""
+    return OpticalLinkDesigner()

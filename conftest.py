@@ -1,0 +1,13 @@
+"""Pytest path shim.
+
+Guarantees that ``src/`` is importable even when the package has not been
+installed (e.g. on offline machines where ``pip install -e .`` cannot build
+an editable wheel).  The installed package, when present, takes precedence.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

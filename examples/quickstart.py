@@ -1,0 +1,53 @@
+"""Quickstart: design an ECC-assisted optical link and compare laser powers.
+
+This is the 60-second tour of the library: take the paper's MWSR channel
+(12 ONIs, 16 wavelengths, 6 cm waveguide), pick a target bit error rate, and
+see how much laser power each transmission scheme needs — the uncoded
+baseline, the shortened Hamming H(71,64) and the H(7,4) bank.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import DEFAULT_CONFIG, OpticalLinkDesigner, paper_code_set
+from repro.power import channel_power_breakdown, energy_metrics
+
+
+def main() -> None:
+    """Design the paper's link at BER 1e-11 and print the comparison."""
+    target_ber = 1e-11
+    designer = OpticalLinkDesigner()
+
+    print(f"MWSR channel: {DEFAULT_CONFIG.num_onis} ONIs, "
+          f"{DEFAULT_CONFIG.num_wavelengths} wavelengths, "
+          f"{DEFAULT_CONFIG.waveguide_length_m * 100:.0f} cm waveguide")
+    print(f"Target post-decoding BER: {target_ber:g}\n")
+
+    header = (
+        f"{'scheme':<12} {'OP_laser':>10} {'P_laser':>9} {'P_channel':>10} "
+        f"{'CT':>6} {'E/bit':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for code in paper_code_set():
+        point = designer.design_point(code, target_ber)
+        breakdown = channel_power_breakdown(code, target_ber, designer=designer)
+        energy = energy_metrics(breakdown)
+        print(
+            f"{code.name:<12} {point.laser_output_power_uw:8.1f} uW "
+            f"{point.laser_power_mw:6.2f} mW {breakdown.total_power_mw:7.2f} mW "
+            f"{point.communication_time:6.2f} {energy.energy_per_bit_modulation_pj:6.2f} pJ"
+        )
+
+    print("\nAt BER 1e-12 the laser cannot serve an uncoded link at all:")
+    for code in paper_code_set():
+        point = designer.design_point(code, 1e-12)
+        status = f"{point.laser_power_mw:.2f} mW" if point.feasible else "infeasible (laser rating exceeded)"
+        print(f"  {code.name:<12} {status}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Regenerate every table and figure of the paper in one go.
+
+Thin wrapper around :mod:`repro.experiments.runner`, kept as an example so
+the reproduction entry point is discoverable next to the other scripts.
+
+Run with::
+
+    python examples/reproduce_paper.py            # everything
+    python examples/reproduce_paper.py figure5    # a single experiment
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.runner import main as run_experiments
+
+
+if __name__ == "__main__":
+    raise SystemExit(run_experiments(sys.argv[1:]))

@@ -1,0 +1,25 @@
+"""Legacy setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so the package can be installed in editable mode on minimal/offline
+environments where the PEP 660 editable-wheel path is unavailable
+(``pip install -e . --no-build-isolation --no-use-pep517``).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Energy/performance trade-off in nanophotonic interconnects using "
+        "coding techniques (DAC 2017 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+    entry_points={
+        "console_scripts": ["repro-experiments=repro.experiments.runner:main"],
+    },
+)

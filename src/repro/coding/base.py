@@ -1,0 +1,313 @@
+"""Abstract linear block code with encoding and syndrome decoding.
+
+Every concrete code in :mod:`repro.coding` (Hamming, shortened Hamming,
+SECDED, parity, repetition, BCH) derives from :class:`LinearBlockCode`.  The
+base class implements:
+
+* systematic encoding from a generator matrix,
+* syndrome-table decoding (single-error correction or general
+  minimum-weight coset leaders for small codes),
+* block segmentation so arbitrary-length bit streams can be pushed through
+  the code, mirroring the paper's interfaces where a 64-bit IP word is
+  split across sixteen H(7,4) encoders or one H(71,64) encoder,
+* the performance metadata the rest of the library needs: code rate,
+  communication-time overhead (paper Section IV-D) and correction
+  capability.
+
+Bit vectors are numpy ``uint8`` arrays of 0/1 values, most-significant bit
+first within a block; the ordering convention only matters for tests since
+all analyses are symmetric in bit position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+from ..exceptions import CodewordLengthError, ConfigurationError, DecodingFailure
+from .matrices import as_gf2, gf2_matmul, gf2_parity_check_from_systematic_generator, hamming_weight
+
+__all__ = ["Codeword", "DecodeResult", "LinearBlockCode"]
+
+
+@dataclass(frozen=True)
+class Codeword:
+    """A single encoded block together with the message it encodes."""
+
+    message_bits: np.ndarray
+    code_bits: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "message_bits", as_gf2(self.message_bits))
+        object.__setattr__(self, "code_bits", as_gf2(self.code_bits))
+
+    @property
+    def n(self) -> int:
+        """Block length of the codeword."""
+        return int(self.code_bits.size)
+
+    @property
+    def k(self) -> int:
+        """Message length of the codeword."""
+        return int(self.message_bits.size)
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """Outcome of decoding a single received block.
+
+    ``detected_error`` is True when the syndrome was non-zero;
+    ``corrected`` is True when the decoder believes it repaired the block;
+    ``failure`` is True when the decoder knows the error pattern exceeded its
+    correction capability (only detectable for codes with minimum distance
+    greater than ``2 t + 1``, e.g. SECDED).
+    """
+
+    message_bits: np.ndarray
+    corrected_codeword: np.ndarray
+    detected_error: bool
+    corrected: bool
+    failure: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "message_bits", as_gf2(self.message_bits))
+        object.__setattr__(self, "corrected_codeword", as_gf2(self.corrected_codeword))
+
+
+class LinearBlockCode:
+    """A systematic (n, k) linear block code over GF(2).
+
+    Parameters
+    ----------
+    generator:
+        Systematic generator matrix of shape ``(k, n)`` in the form
+        ``[I_k | P]``.
+    name:
+        Human-readable name such as ``"H(7,4)"``; used by the registry, the
+        experiment reports and figure legends.
+    minimum_distance:
+        Known minimum distance of the code.  Required because several
+        analytic BER expressions depend on it and exhaustive computation is
+        infeasible for codes such as H(71,64).
+    """
+
+    def __init__(self, generator, *, name: str, minimum_distance: int):
+        self._generator = as_gf2(generator)
+        if self._generator.ndim != 2:
+            raise ConfigurationError("generator matrix must be two-dimensional")
+        self._k, self._n = self._generator.shape
+        if self._k <= 0 or self._n <= self._k:
+            raise ConfigurationError(
+                f"invalid code dimensions (n={self._n}, k={self._k}); need n > k >= 1"
+            )
+        if minimum_distance < 1:
+            raise ConfigurationError("minimum distance must be at least 1")
+        self._name = str(name)
+        self._dmin = int(minimum_distance)
+        self._parity_check = gf2_parity_check_from_systematic_generator(self._generator)
+        self._syndrome_table: Optional[dict[int, np.ndarray]] = None
+
+    # ------------------------------------------------------------------ metadata
+    @property
+    def name(self) -> str:
+        """Display name of the code (e.g. ``"H(7,4)"``)."""
+        return self._name
+
+    @property
+    def n(self) -> int:
+        """Block length."""
+        return self._n
+
+    @property
+    def k(self) -> int:
+        """Message length."""
+        return self._k
+
+    @property
+    def num_parity_bits(self) -> int:
+        """Number of redundancy bits per block (n - k)."""
+        return self._n - self._k
+
+    @property
+    def minimum_distance(self) -> int:
+        """Minimum Hamming distance of the code."""
+        return self._dmin
+
+    @property
+    def correctable_errors(self) -> int:
+        """Guaranteed number of correctable errors t = floor((dmin - 1) / 2)."""
+        return (self._dmin - 1) // 2
+
+    @property
+    def detectable_errors(self) -> int:
+        """Guaranteed number of detectable errors (dmin - 1)."""
+        return self._dmin - 1
+
+    @property
+    def code_rate(self) -> float:
+        """Code rate Rc = k / n."""
+        return self._k / self._n
+
+    @property
+    def communication_time_overhead(self) -> float:
+        """Relative transmission-time increase CT = n / k (paper Section IV-D).
+
+        The paper normalises the communication time to the uncoded case, so
+        H(7,4) has CT = 1.75 and H(71,64) has CT ~ 1.11.
+        """
+        return self._n / self._k
+
+    @property
+    def generator_matrix(self) -> np.ndarray:
+        """Copy of the systematic generator matrix ``[I_k | P]``."""
+        return self._generator.copy()
+
+    @property
+    def parity_check_matrix(self) -> np.ndarray:
+        """Copy of the parity-check matrix ``[P^T | I_{n-k}]``."""
+        return self._parity_check.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self._name!r}, n={self._n}, k={self._k}, dmin={self._dmin})"
+
+    # ------------------------------------------------------------------ encoding
+    def encode_block(self, message_bits) -> np.ndarray:
+        """Encode exactly one k-bit message block into an n-bit codeword."""
+        message = as_gf2(message_bits).ravel()
+        if message.size != self._k:
+            raise CodewordLengthError(
+                f"{self._name}: expected a {self._k}-bit message, got {message.size} bits"
+            )
+        return gf2_matmul(message[np.newaxis, :], self._generator)[0]
+
+    def encode(self, bits) -> np.ndarray:
+        """Encode a bit stream whose length is a multiple of ``k``.
+
+        The stream is split into consecutive k-bit blocks which are encoded
+        independently, matching the parallel encoder banks of the paper's
+        transmitter interface.
+        """
+        stream = as_gf2(bits).ravel()
+        if stream.size % self._k != 0:
+            raise CodewordLengthError(
+                f"{self._name}: stream length {stream.size} is not a multiple of k={self._k}"
+            )
+        blocks = stream.reshape(-1, self._k)
+        return gf2_matmul(blocks, self._generator).reshape(-1)
+
+    # ------------------------------------------------------------------ decoding
+    def syndrome(self, received_bits) -> np.ndarray:
+        """Syndrome ``H r^T`` of a received n-bit block."""
+        received = as_gf2(received_bits).ravel()
+        if received.size != self._n:
+            raise CodewordLengthError(
+                f"{self._name}: expected a {self._n}-bit block, got {received.size} bits"
+            )
+        return gf2_matmul(self._parity_check, received[:, np.newaxis])[:, 0]
+
+    def _build_syndrome_table(self) -> dict[int, np.ndarray]:
+        """Map syndrome integers to minimum-weight error patterns.
+
+        The default implementation covers all single-bit error patterns,
+        which is exact for Hamming codes (t = 1) and a best-effort choice for
+        larger-distance codes; subclasses with higher correction capability
+        override :meth:`decode_block` or extend the table.
+        """
+        table: dict[int, np.ndarray] = {}
+        for position in range(self._n):
+            error = np.zeros(self._n, dtype=np.uint8)
+            error[position] = 1
+            key = self._syndrome_key(self.syndrome(error))
+            table.setdefault(key, error)
+        return table
+
+    @staticmethod
+    def _syndrome_key(syndrome: np.ndarray) -> int:
+        """Pack a syndrome bit vector into an integer dictionary key."""
+        key = 0
+        for bit in syndrome:
+            key = (key << 1) | int(bit)
+        return key
+
+    def decode_block(self, received_bits, *, strict: bool = False) -> DecodeResult:
+        """Decode one received block by syndrome lookup.
+
+        When the syndrome is zero the block is accepted as-is.  Otherwise the
+        decoder flips the bits of the stored coset-leader error pattern; if
+        the syndrome is not in the table the decoder reports a failure (and
+        raises :class:`DecodingFailure` in ``strict`` mode).
+        """
+        received = as_gf2(received_bits).ravel()
+        if received.size != self._n:
+            raise CodewordLengthError(
+                f"{self._name}: expected a {self._n}-bit block, got {received.size} bits"
+            )
+        syndrome = self.syndrome(received)
+        if not syndrome.any():
+            return DecodeResult(
+                message_bits=received[: self._k].copy(),
+                corrected_codeword=received.copy(),
+                detected_error=False,
+                corrected=False,
+            )
+        if self._syndrome_table is None:
+            self._syndrome_table = self._build_syndrome_table()
+        error = self._syndrome_table.get(self._syndrome_key(syndrome))
+        if error is None:
+            if strict:
+                raise DecodingFailure(f"{self._name}: uncorrectable syndrome {syndrome.tolist()}")
+            return DecodeResult(
+                message_bits=received[: self._k].copy(),
+                corrected_codeword=received.copy(),
+                detected_error=True,
+                corrected=False,
+                failure=True,
+            )
+        corrected = received ^ error
+        return DecodeResult(
+            message_bits=corrected[: self._k].copy(),
+            corrected_codeword=corrected,
+            detected_error=True,
+            corrected=True,
+        )
+
+    def decode(self, bits, *, strict: bool = False) -> np.ndarray:
+        """Decode a bit stream whose length is a multiple of ``n``.
+
+        Returns the concatenated decoded messages; per-block status
+        information is available through :meth:`decode_block`.
+        """
+        stream = as_gf2(bits).ravel()
+        if stream.size % self._n != 0:
+            raise CodewordLengthError(
+                f"{self._name}: stream length {stream.size} is not a multiple of n={self._n}"
+            )
+        blocks = stream.reshape(-1, self._n)
+        decoded = [self.decode_block(block, strict=strict).message_bits for block in blocks]
+        if not decoded:
+            return np.zeros(0, dtype=np.uint8)
+        return np.concatenate(decoded)
+
+    # ------------------------------------------------------------------ helpers
+    def codewords(self) -> Iterable[Codeword]:
+        """Iterate over every codeword of the code (small codes only).
+
+        Intended for tests; refuses codes with more than 2^16 codewords.
+        """
+        if self._k > 16:
+            raise ConfigurationError(
+                f"refusing to enumerate 2^{self._k} codewords; use analytic tools instead"
+            )
+        for value in range(1 << self._k):
+            message = np.array([(value >> bit) & 1 for bit in range(self._k)], dtype=np.uint8)
+            yield Codeword(message_bits=message, code_bits=self.encode_block(message))
+
+    def is_codeword(self, bits) -> bool:
+        """Check whether an n-bit vector lies in the code."""
+        return not self.syndrome(bits).any()
+
+    def codeword_weight(self, message_bits) -> int:
+        """Hamming weight of the codeword encoding ``message_bits``."""
+        return hamming_weight(self.encode_block(message_bits))

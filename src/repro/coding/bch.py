@@ -1,0 +1,254 @@
+"""Binary BCH codes with configurable error-correction capability.
+
+The paper chose Hamming codes "for their simplicity, but other coding
+techniques can be used".  BCH codes are the natural next step: they keep the
+same algebraic structure (cyclic, defined by a generator polynomial over
+GF(2)) but correct ``t >= 2`` errors per block, allowing even lower laser
+power at the cost of more parity bits and a more complex decoder.  They are
+used by the extension experiments and the design-space sweeps.
+
+The implementation constructs the generator polynomial as the least common
+multiple of the minimal polynomials of ``alpha, alpha^2, ..., alpha^{2t}``
+and decodes with the Peterson–Gorenstein–Zierler / Chien-search procedure,
+which is adequate for the small ``t`` (2 or 3) relevant on-chip.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..exceptions import CodewordLengthError, ConfigurationError
+from .base import DecodeResult, LinearBlockCode
+from .galois import GaloisField
+from .matrices import as_gf2
+
+__all__ = ["BCHCode"]
+
+
+def _poly_mul_gf2(a: List[int], b: List[int]) -> List[int]:
+    """Multiply two GF(2) polynomials given lowest-order-first."""
+    result = [0] * (len(a) + len(b) - 1)
+    for i, ca in enumerate(a):
+        if not ca:
+            continue
+        for j, cb in enumerate(b):
+            result[i + j] ^= ca & cb
+    return result
+
+
+def _poly_divmod_gf2(dividend: List[int], divisor: List[int]) -> tuple[List[int], List[int]]:
+    """Polynomial division over GF(2); returns (quotient, remainder)."""
+    remainder = list(dividend)
+    deg_divisor = len(divisor) - 1
+    while len(divisor) > 1 and divisor[-1] == 0:
+        divisor = divisor[:-1]
+        deg_divisor -= 1
+    quotient = [0] * max(1, len(dividend) - deg_divisor)
+    for shift in range(len(remainder) - 1, deg_divisor - 1, -1):
+        if remainder[shift]:
+            quotient[shift - deg_divisor] = 1
+            for i, c in enumerate(divisor):
+                remainder[shift - deg_divisor + i] ^= c
+    while len(remainder) > 1 and remainder[-1] == 0:
+        remainder.pop()
+    return quotient, remainder
+
+
+class BCHCode(LinearBlockCode):
+    """Primitive binary BCH code of length ``2^m - 1`` correcting ``t`` errors."""
+
+    def __init__(self, m: int, t: int):
+        if t < 1:
+            raise ConfigurationError("BCH correction capability t must be >= 1")
+        field = GaloisField(m)
+        n = field.order
+        generator_poly = self._build_generator_polynomial(field, t)
+        num_parity = len(generator_poly) - 1
+        k = n - num_parity
+        if k <= 0:
+            raise ConfigurationError(
+                f"BCH(m={m}, t={t}) has no payload bits (n={n}, parity={num_parity})"
+            )
+        generator_matrix = self._systematic_generator(generator_poly, n, k)
+        super().__init__(
+            generator_matrix,
+            name=f"BCH({n},{k},t={t})",
+            minimum_distance=2 * t + 1,
+        )
+        self._field = field
+        self._t = t
+        self._generator_poly = generator_poly
+
+    # ------------------------------------------------------------------ construction
+    @staticmethod
+    def _build_generator_polynomial(field: GaloisField, t: int) -> List[int]:
+        """LCM of the minimal polynomials of alpha^1 .. alpha^{2t}."""
+        generator = [1]
+        seen_roots: set[int] = set()
+        for exponent in range(1, 2 * t + 1):
+            element = field.alpha_power(exponent)
+            if element in seen_roots:
+                continue
+            minimal = field.minimal_polynomial(element)
+            # Record the conjugacy class so each minimal polynomial enters once.
+            conjugate = element
+            while conjugate not in seen_roots:
+                seen_roots.add(conjugate)
+                conjugate = field.multiply(conjugate, conjugate)
+            generator = _poly_mul_gf2(generator, minimal)
+        return generator
+
+    @staticmethod
+    def _systematic_generator(generator_poly: List[int], n: int, k: int) -> np.ndarray:
+        """Systematic generator matrix of the cyclic code.
+
+        Row ``i`` encodes the message monomial ``x^i``: the codeword is
+        ``[message | parity]`` where parity is the remainder of
+        ``x^{n-k} * x^i`` divided by the generator polynomial.
+        """
+        num_parity = n - k
+        rows = np.zeros((k, n), dtype=np.uint8)
+        for i in range(k):
+            shifted = [0] * (num_parity + i) + [1]
+            _, remainder = _poly_divmod_gf2(shifted, generator_poly)
+            rows[i, i] = 1
+            for degree, coefficient in enumerate(remainder):
+                rows[i, k + degree] = coefficient
+        return rows
+
+    # ------------------------------------------------------------------ metadata
+    @property
+    def field(self) -> GaloisField:
+        """The GF(2^m) field the code is defined over."""
+        return self._field
+
+    @property
+    def t(self) -> int:
+        """Designed error-correction capability."""
+        return self._t
+
+    @property
+    def generator_polynomial(self) -> List[int]:
+        """GF(2) generator polynomial, lowest-order coefficient first."""
+        return list(self._generator_poly)
+
+    # ------------------------------------------------------------------ decoding
+    def _codeword_polynomial(self, received: np.ndarray) -> List[int]:
+        """Map the systematic word [message | parity] onto the cyclic polynomial.
+
+        The systematic encoder produced ``x^{n-k} m(x) + r(x)``; in our matrix
+        layout the message occupies positions ``0..k-1`` and parity positions
+        ``k..n-1``, so polynomial coefficient ``x^j`` is parity bit ``j`` for
+        ``j < n-k`` and message bit ``j-(n-k)`` otherwise.
+        """
+        num_parity = self.n - self.k
+        coefficients = [0] * self.n
+        for j in range(num_parity):
+            coefficients[j] = int(received[self.k + j])
+        for i in range(self.k):
+            coefficients[num_parity + i] = int(received[i])
+        return coefficients
+
+    def decode_block(self, received_bits, *, strict: bool = False) -> DecodeResult:
+        """Algebraic decoding: syndromes, error locator, Chien search."""
+        received = as_gf2(received_bits).ravel()
+        if received.size != self.n:
+            raise CodewordLengthError(
+                f"{self.name}: expected a {self.n}-bit block, got {received.size} bits"
+            )
+        field = self._field
+        poly = self._codeword_polynomial(received)
+        syndromes = [
+            field.poly_eval(poly, field.alpha_power(exponent))
+            for exponent in range(1, 2 * self._t + 1)
+        ]
+        if not any(syndromes):
+            return DecodeResult(
+                message_bits=received[: self.k].copy(),
+                corrected_codeword=received.copy(),
+                detected_error=False,
+                corrected=False,
+            )
+        locator = self._berlekamp_massey(syndromes)
+        error_positions = self._chien_search(locator)
+        if error_positions is None or len(error_positions) != len(locator) - 1:
+            if strict:
+                from ..exceptions import DecodingFailure
+
+                raise DecodingFailure(f"{self.name}: uncorrectable error pattern")
+            return DecodeResult(
+                message_bits=received[: self.k].copy(),
+                corrected_codeword=received.copy(),
+                detected_error=True,
+                corrected=False,
+                failure=True,
+            )
+        corrected_poly = list(poly)
+        for position in error_positions:
+            corrected_poly[position] ^= 1
+        corrected = received.copy()
+        num_parity = self.n - self.k
+        for position in error_positions:
+            if position < num_parity:
+                corrected[self.k + position] ^= 1
+            else:
+                corrected[position - num_parity] ^= 1
+        return DecodeResult(
+            message_bits=corrected[: self.k].copy(),
+            corrected_codeword=corrected,
+            detected_error=True,
+            corrected=True,
+        )
+
+    def _berlekamp_massey(self, syndromes: List[int]) -> List[int]:
+        """Berlekamp–Massey over GF(2^m); returns the error-locator polynomial."""
+        field = self._field
+        locator = [1]
+        previous = [1]
+        length = 0
+        shift = 1
+        previous_discrepancy = 1
+        for index, syndrome in enumerate(syndromes):
+            discrepancy = syndrome
+            for j in range(1, length + 1):
+                if j < len(locator):
+                    discrepancy ^= field.multiply(locator[j], syndromes[index - j])
+            if discrepancy == 0:
+                shift += 1
+                continue
+            coefficient = field.divide(discrepancy, previous_discrepancy)
+            correction = [0] * shift + [field.multiply(coefficient, c) for c in previous]
+            updated = list(locator) + [0] * max(0, len(correction) - len(locator))
+            for j, value in enumerate(correction):
+                updated[j] ^= value
+            if 2 * length <= index:
+                previous = list(locator)
+                previous_discrepancy = discrepancy
+                length = index + 1 - length
+                shift = 1
+            else:
+                shift += 1
+            locator = updated
+        while len(locator) > 1 and locator[-1] == 0:
+            locator.pop()
+        return locator
+
+    def _chien_search(self, locator: List[int]) -> List[int] | None:
+        """Find error positions as roots of the locator polynomial."""
+        field = self._field
+        degree = len(locator) - 1
+        if degree == 0:
+            return []
+        if degree > self._t:
+            return None
+        positions = []
+        for position in range(self.n):
+            # The locator roots are alpha^{-i} for error positions i.
+            x = field.alpha_power((-position) % field.order)
+            if field.poly_eval(locator, x) == 0:
+                positions.append(position)
+        if len(positions) != degree:
+            return None
+        return positions

@@ -1,0 +1,98 @@
+"""Cyclic redundancy checks for error *detection*.
+
+CRCs do not correct errors, so on their own they cannot relax the laser
+power under the paper's fixed-BER criterion; they matter for the
+detection-plus-retransmission policies explored by the runtime manager and
+for end-to-end integrity checks in the message-level simulator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import CodewordLengthError, ConfigurationError
+from .matrices import as_gf2
+
+__all__ = ["CyclicRedundancyCheck"]
+
+_WELL_KNOWN_POLYNOMIALS = {
+    "crc4-itu": (4, 0x3),
+    "crc8": (8, 0x07),
+    "crc8-maxim": (8, 0x31),
+    "crc16-ccitt": (16, 0x1021),
+    "crc16-ibm": (16, 0x8005),
+    "crc32": (32, 0x04C11DB7),
+}
+
+
+class CyclicRedundancyCheck:
+    """Bit-serial CRC generator/checker over GF(2).
+
+    Parameters
+    ----------
+    width:
+        Number of CRC bits appended to the message.
+    polynomial:
+        Generator polynomial as an integer *without* the implicit leading
+        ``x^width`` term (the usual "normal" representation, e.g. ``0x1021``
+        for CRC-16-CCITT).
+    """
+
+    def __init__(self, width: int, polynomial: int):
+        if width < 1 or width > 64:
+            raise ConfigurationError("CRC width must lie between 1 and 64 bits")
+        if polynomial <= 0 or polynomial >= (1 << width):
+            raise ConfigurationError("polynomial must fit in `width` bits and be non-zero")
+        self._width = width
+        self._polynomial = polynomial
+
+    @classmethod
+    def from_name(cls, name: str) -> "CyclicRedundancyCheck":
+        """Construct one of the well-known CRCs by name (e.g. ``"crc16-ccitt"``)."""
+        key = name.lower()
+        if key not in _WELL_KNOWN_POLYNOMIALS:
+            raise ConfigurationError(
+                f"unknown CRC {name!r}; known: {sorted(_WELL_KNOWN_POLYNOMIALS)}"
+            )
+        width, poly = _WELL_KNOWN_POLYNOMIALS[key]
+        return cls(width, poly)
+
+    @property
+    def width(self) -> int:
+        """Number of check bits."""
+        return self._width
+
+    @property
+    def polynomial(self) -> int:
+        """Generator polynomial (normal representation)."""
+        return self._polynomial
+
+    def checksum(self, bits) -> np.ndarray:
+        """Compute the CRC remainder of a bit vector (MSB-first)."""
+        stream = as_gf2(bits).ravel()
+        register = 0
+        mask = (1 << self._width) - 1
+        top_bit = 1 << (self._width - 1)
+        for bit in stream:
+            feedback = ((register & top_bit) >> (self._width - 1)) ^ int(bit)
+            register = ((register << 1) & mask)
+            if feedback:
+                register ^= self._polynomial
+        return np.array(
+            [(register >> (self._width - 1 - i)) & 1 for i in range(self._width)],
+            dtype=np.uint8,
+        )
+
+    def append(self, bits) -> np.ndarray:
+        """Return the message followed by its CRC bits."""
+        stream = as_gf2(bits).ravel()
+        return np.concatenate([stream, self.checksum(stream)])
+
+    def verify(self, bits_with_crc) -> bool:
+        """Check a message+CRC vector; True when no error is detected."""
+        stream = as_gf2(bits_with_crc).ravel()
+        if stream.size <= self._width:
+            raise CodewordLengthError("received vector shorter than the CRC itself")
+        message = stream[: -self._width]
+        received_crc = stream[-self._width:]
+        return bool(np.array_equal(self.checksum(message), received_crc))

@@ -1,0 +1,70 @@
+"""Block interleaving to spread burst errors across codewords.
+
+Hamming codes correct one error per block, so a burst of adjacent errors on
+the serial optical stream can defeat them.  A block interleaver writes bits
+row-wise into a depth x width matrix and reads them column-wise, so a burst
+of up to ``depth`` channel bits lands in distinct codewords.  This is the
+standard companion of single-error-correcting codes and is exercised by the
+burst fault-injection experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import CodewordLengthError, ConfigurationError
+from .matrices import as_gf2
+
+__all__ = ["BlockInterleaver"]
+
+
+class BlockInterleaver:
+    """Row-in / column-out block interleaver.
+
+    Parameters
+    ----------
+    depth:
+        Number of rows; a burst of up to ``depth`` consecutive channel bits
+        touches each codeword at most once.
+    width:
+        Number of columns; usually the codeword length ``n``.
+    """
+
+    def __init__(self, depth: int, width: int):
+        if depth < 1 or width < 1:
+            raise ConfigurationError("interleaver depth and width must be positive")
+        self._depth = depth
+        self._width = width
+
+    @property
+    def depth(self) -> int:
+        """Number of interleaved codewords."""
+        return self._depth
+
+    @property
+    def width(self) -> int:
+        """Bits per codeword (matrix row length)."""
+        return self._width
+
+    @property
+    def block_size(self) -> int:
+        """Number of bits processed per interleaving operation."""
+        return self._depth * self._width
+
+    def interleave(self, bits) -> np.ndarray:
+        """Permute a block of ``depth * width`` bits row-in, column-out."""
+        stream = as_gf2(bits).ravel()
+        if stream.size != self.block_size:
+            raise CodewordLengthError(
+                f"interleaver expects {self.block_size} bits, got {stream.size}"
+            )
+        return stream.reshape(self._depth, self._width).T.reshape(-1).copy()
+
+    def deinterleave(self, bits) -> np.ndarray:
+        """Inverse permutation of :meth:`interleave`."""
+        stream = as_gf2(bits).ravel()
+        if stream.size != self.block_size:
+            raise CodewordLengthError(
+                f"deinterleaver expects {self.block_size} bits, got {stream.size}"
+            )
+        return stream.reshape(self._width, self._depth).T.reshape(-1).copy()

@@ -1,0 +1,43 @@
+"""Single-parity-check codes (detection only).
+
+A single parity bit detects any odd number of bit errors but corrects none.
+In the paper's framework such a code cannot relax the laser power on its own
+(the target BER is defined after correction), but it is the natural building
+block for detection-plus-retransmission schemes and serves as a cheap
+baseline in the design-space sweeps and tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .base import LinearBlockCode
+
+__all__ = ["SingleParityCheckCode"]
+
+
+class SingleParityCheckCode(LinearBlockCode):
+    """The (k + 1, k) even-parity code."""
+
+    def __init__(self, message_length: int):
+        if message_length < 1:
+            raise ConfigurationError("message length must be positive")
+        parity_column = np.ones((message_length, 1), dtype=np.uint8)
+        generator = np.concatenate(
+            [np.eye(message_length, dtype=np.uint8), parity_column], axis=1
+        )
+        super().__init__(
+            generator,
+            name=f"SPC({message_length + 1},{message_length})",
+            minimum_distance=2,
+        )
+
+    def _build_syndrome_table(self) -> dict[int, np.ndarray]:
+        """A parity code cannot locate errors; leave the table empty.
+
+        With an empty table every non-zero syndrome is reported as a
+        detected-but-uncorrected failure, which is the honest behaviour for a
+        distance-2 code.
+        """
+        return {}

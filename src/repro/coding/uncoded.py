@@ -1,0 +1,124 @@
+"""The pass-through "w/o ECC" transmission scheme.
+
+The paper's baseline transmits raw data: no redundancy, no correction, and a
+communication-time overhead of exactly 1.  Modelling it as a degenerate code
+object lets every downstream component (link design, power model, manager,
+simulators) treat coded and uncoded transmissions uniformly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import CodewordLengthError, ConfigurationError
+from .base import DecodeResult
+from .matrices import as_gf2
+
+__all__ = ["UncodedScheme"]
+
+
+class UncodedScheme:
+    """Identity "code" used for transmissions without ECC.
+
+    It mirrors the :class:`~repro.coding.base.LinearBlockCode` interface
+    (``n``, ``k``, ``encode``, ``decode``, rate and CT properties) so the
+    rest of the library does not special-case the uncoded path, exactly as
+    the paper's interface multiplexes between the direct path and the
+    Hamming paths.
+    """
+
+    def __init__(self, block_length: int = 64, *, name: str = "w/o ECC"):
+        if block_length < 1:
+            raise ConfigurationError("block length must be positive")
+        self._n = int(block_length)
+        self._name = name
+
+    # ------------------------------------------------------------------ metadata
+    @property
+    def name(self) -> str:
+        """Display name used in reports and figure legends."""
+        return self._name
+
+    @property
+    def n(self) -> int:
+        """Block length (equal to the message length for the uncoded scheme)."""
+        return self._n
+
+    @property
+    def k(self) -> int:
+        """Message length."""
+        return self._n
+
+    @property
+    def num_parity_bits(self) -> int:
+        """Uncoded transmissions carry no redundancy."""
+        return 0
+
+    @property
+    def minimum_distance(self) -> int:
+        """Distance of the identity map: any single bit flip is a new word."""
+        return 1
+
+    @property
+    def correctable_errors(self) -> int:
+        """No errors can be corrected without redundancy."""
+        return 0
+
+    @property
+    def detectable_errors(self) -> int:
+        """No errors can be detected without redundancy."""
+        return 0
+
+    @property
+    def code_rate(self) -> float:
+        """Rate of the uncoded scheme is exactly 1."""
+        return 1.0
+
+    @property
+    def communication_time_overhead(self) -> float:
+        """CT = 1 by definition (the paper normalises to this case)."""
+        return 1.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"UncodedScheme(n={self._n})"
+
+    # ------------------------------------------------------------------ coding API
+    def encode_block(self, message_bits) -> np.ndarray:
+        """Return the message unchanged (after GF(2) coercion)."""
+        message = as_gf2(message_bits).ravel()
+        if message.size != self._n:
+            raise CodewordLengthError(
+                f"uncoded scheme expected {self._n} bits, got {message.size}"
+            )
+        return message.copy()
+
+    def encode(self, bits) -> np.ndarray:
+        """Return the stream unchanged (after GF(2) coercion)."""
+        stream = as_gf2(bits).ravel()
+        if stream.size % self._n != 0:
+            raise CodewordLengthError(
+                f"stream length {stream.size} is not a multiple of {self._n}"
+            )
+        return stream.copy()
+
+    def decode_block(self, received_bits, *, strict: bool = False) -> DecodeResult:
+        """Accept the received block verbatim; nothing can be detected."""
+        received = as_gf2(received_bits).ravel()
+        if received.size != self._n:
+            raise CodewordLengthError(
+                f"uncoded scheme expected {self._n} bits, got {received.size}"
+            )
+        return DecodeResult(
+            message_bits=received.copy(),
+            corrected_codeword=received.copy(),
+            detected_error=False,
+            corrected=False,
+        )
+
+    def decode(self, bits, *, strict: bool = False) -> np.ndarray:
+        """Return the stream unchanged."""
+        return self.encode(bits)
+
+    def is_codeword(self, bits) -> bool:
+        """Every n-bit vector is a valid uncoded word."""
+        return as_gf2(bits).ravel().size == self._n

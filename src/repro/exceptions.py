@@ -1,0 +1,61 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class.  Specific subclasses are raised where the failure
+mode is meaningful to a user of the public API (e.g. a laser that cannot
+deliver the requested optical power, or a BER target that no configuration
+can reach).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class CodingError(ReproError):
+    """Base class for errors in the ECC substrate."""
+
+
+class CodewordLengthError(CodingError):
+    """A message or codeword does not have the length required by the code."""
+
+
+class DecodingFailure(CodingError):
+    """A decoder detected an error pattern it cannot correct.
+
+    Raised only by decoders operating in ``strict`` mode; by default the
+    decoders return their best-effort estimate together with a flag.
+    """
+
+
+class LaserPowerExceededError(ReproError):
+    """The required optical output power exceeds the laser's maximum rating.
+
+    This is the error behind the paper's observation that a BER of 1e-12 is
+    not reachable without ECC: the required ``OP_laser`` exceeds the maximum
+    deliverable optical power (700 uW for the PCM-VCSEL considered).
+    """
+
+    def __init__(self, required_w: float, maximum_w: float, message: str | None = None):
+        self.required_w = float(required_w)
+        self.maximum_w = float(maximum_w)
+        if message is None:
+            message = (
+                f"required laser output power {required_w * 1e6:.1f} uW exceeds the "
+                f"maximum deliverable optical power {maximum_w * 1e6:.1f} uW"
+            )
+        super().__init__(message)
+
+
+class InfeasibleDesignError(ReproError):
+    """No operating point satisfies the requested constraints."""
+
+
+class ArbitrationError(ReproError):
+    """A channel-access request could not be satisfied."""

@@ -1,0 +1,48 @@
+"""Reproduction harness: one module per table/figure of the paper.
+
+Every module exposes a ``run_*`` function returning a structured result with
+the series/rows the paper plots, plus helpers comparing the reproduction to
+the paper's reported values (:mod:`repro.experiments.paperdata`).  The
+command-line entry point :mod:`repro.experiments.runner` regenerates
+everything and renders text reports; the pytest-benchmark targets under
+``benchmarks/`` time and validate the same code paths.
+
+Experiment index
+----------------
+======== ==================================================================
+table1    Synthesis results of the TX/RX interfaces (Table I)
+figure3   Micro-ring transmission spectra in ON/OFF states (Figure 3)
+figure4   Laser electrical power vs emitted optical power (Figure 4)
+figure5   Laser power vs target BER per coding scheme (Figure 5)
+figure6a  Channel power breakdown per wavelength at BER 1e-11 (Figure 6a)
+figure6b  Power vs communication-time Pareto trade-off (Figure 6b)
+headline  Headline claims: ~50% laser power cut, 92% laser share, 22 W saved
+======== ==================================================================
+"""
+
+from .table1 import Table1Result, run_table1
+from .figure3 import Figure3Result, run_figure3
+from .figure4 import Figure4Result, run_figure4
+from .figure5 import Figure5Result, run_figure5
+from .figure6 import Figure6aResult, Figure6bResult, run_figure6a, run_figure6b
+from .headline import HeadlineResult, run_headline
+from .calibration import CalibrationSummary, run_calibration
+
+__all__ = [
+    "Table1Result",
+    "run_table1",
+    "Figure3Result",
+    "run_figure3",
+    "Figure4Result",
+    "run_figure4",
+    "Figure5Result",
+    "run_figure5",
+    "Figure6aResult",
+    "Figure6bResult",
+    "run_figure6a",
+    "run_figure6b",
+    "HeadlineResult",
+    "run_headline",
+    "CalibrationSummary",
+    "run_calibration",
+]

@@ -1,0 +1,109 @@
+"""Experiment ``figure5``: laser power vs target BER per coding scheme.
+
+Figure 5 sweeps the target BER from 1e-3 to 1e-12 for the 12-ONI,
+16-wavelength, 6-cm MWSR channel and plots the per-wavelength electrical
+laser power for transmissions without ECC, with H(71,64) and with H(7,4).
+The uncoded curve is the highest everywhere and becomes infeasible at
+BER = 1e-12 (the required optical power exceeds the 700 uW laser rating);
+the coded curves stay feasible across the whole range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..coding.registry import paper_code_set
+from ..config import DEFAULT_CONFIG, PaperConfig
+from ..link.design import LinkDesignPoint, OpticalLinkDesigner
+from .paperdata import Comparison, PAPER_LASER_POWER_MW_AT_1E11
+
+__all__ = ["Figure5Result", "run_figure5", "DEFAULT_BER_GRID"]
+
+#: The BER axis of Figure 5 (decades from 1e-3 down to 1e-12).
+DEFAULT_BER_GRID: tuple[float, ...] = tuple(10.0 ** (-e) for e in range(3, 13))
+
+
+@dataclass
+class Figure5Result:
+    """Laser power curves per coding scheme over the BER grid."""
+
+    target_bers: tuple[float, ...]
+    series: Dict[str, List[LinkDesignPoint]]
+    comparisons: List[Comparison] = field(default_factory=list)
+
+    def laser_power_mw(self, code_name: str) -> np.ndarray:
+        """Laser power curve of one scheme, in mW (NaN where infeasible)."""
+        points = self.series[code_name]
+        return np.array(
+            [p.laser_power_mw if p.feasible else np.nan for p in points]
+        )
+
+    def feasibility(self, code_name: str) -> np.ndarray:
+        """Boolean feasibility of one scheme over the BER grid."""
+        return np.array([p.feasible for p in self.series[code_name]])
+
+    def point_at(self, code_name: str, target_ber: float) -> LinkDesignPoint:
+        """The design point of one scheme at one BER target."""
+        for point in self.series[code_name]:
+            if np.isclose(point.target_ber, target_ber, rtol=1e-9, atol=0.0):
+                return point
+        raise KeyError(f"BER {target_ber:g} not in the sweep grid")
+
+    def render_text(self) -> str:
+        """Text table of the laser powers over the BER grid."""
+        names = list(self.series)
+        header = "BER        " + "".join(f"{name:>14s}" for name in names)
+        lines = ["Figure 5 - P_laser vs target BER (mW per wavelength)", header]
+        for i, ber in enumerate(self.target_bers):
+            cells = []
+            for name in names:
+                point = self.series[name][i]
+                cells.append(
+                    f"{point.laser_power_mw:14.2f}" if point.feasible else f"{'infeasible':>14s}"
+                )
+            lines.append(f"{ber:10.0e} " + "".join(cells))
+        lines.append("")
+        lines.append("Comparison against the paper at BER = 1e-11:")
+        lines.extend(c.render() for c in self.comparisons)
+        return "\n".join(lines)
+
+
+def run_figure5(
+    config: PaperConfig = DEFAULT_CONFIG,
+    *,
+    target_bers: Sequence[float] = DEFAULT_BER_GRID,
+    codes: Sequence | None = None,
+) -> Figure5Result:
+    """Sweep the BER targets for every coding scheme of the paper."""
+    designer = OpticalLinkDesigner(config=config)
+    code_list = list(codes) if codes is not None else paper_code_set(config.ip_bus_width_bits)
+    series: Dict[str, List[LinkDesignPoint]] = {}
+    for code in code_list:
+        series[code.name] = designer.sweep_ber(code, list(target_bers))
+
+    comparisons: List[Comparison] = []
+    for name, reference in PAPER_LASER_POWER_MW_AT_1E11.items():
+        if name not in series:
+            continue
+        try:
+            measured = next(
+                p.laser_power_mw
+                for p in series[name]
+                if np.isclose(p.target_ber, 1e-11, rtol=1e-9, atol=0.0)
+            )
+        except StopIteration:
+            continue
+        comparisons.append(
+            Comparison(
+                quantity=f"P_laser at BER 1e-11 [{name}]",
+                measured=measured,
+                reference=reference,
+                unit="mW",
+            )
+        )
+    return Figure5Result(
+        target_bers=tuple(target_bers), series=series, comparisons=comparisons
+    )

@@ -1,0 +1,38 @@
+"""Report helpers shared by the experiment runner.
+
+Experiments return structured result objects; this module turns them into
+text sections and CSV rows so the runner can both print to the console and
+write machine-readable artefacts next to EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["rows_to_csv", "section", "render_comparisons"]
+
+
+def section(title: str, body: str) -> str:
+    """Wrap a body of text in an underlined section header."""
+    underline = "=" * len(title)
+    return f"{title}\n{underline}\n{body}\n"
+
+
+def rows_to_csv(rows: Sequence[Mapping[str, object]]) -> str:
+    """Serialise a list of homogeneous dictionaries to CSV text."""
+    if not rows:
+        return ""
+    fieldnames = list(rows[0].keys())
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def render_comparisons(comparisons: Iterable) -> str:
+    """Render a list of Comparison objects, one per line."""
+    return "\n".join(comparison.render() for comparison in comparisons)

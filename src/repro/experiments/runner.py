@@ -1,0 +1,164 @@
+"""Command-line runner regenerating every table and figure of the paper.
+
+Usage::
+
+    python -m repro.experiments.runner            # run everything
+    python -m repro.experiments.runner figure5    # run one experiment
+    repro-experiments table1 figure6a             # via the console script
+
+Each experiment prints a text report; ``--csv DIR`` additionally writes the
+raw series as CSV files for external plotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+from typing import Callable, Dict
+
+from ..config import DEFAULT_CONFIG
+from .calibration import run_calibration
+from .figure3 import run_figure3
+from .figure4 import run_figure4
+from .figure5 import run_figure5
+from .figure6 import run_figure6a, run_figure6b
+from .headline import run_headline
+from .report import rows_to_csv, section
+from .table1 import run_table1
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _run_table1() -> tuple[str, list[dict]]:
+    result = run_table1(DEFAULT_CONFIG)
+    return result.render_text(), result.report.to_rows()
+
+
+def _run_figure3() -> tuple[str, list[dict]]:
+    result = run_figure3(DEFAULT_CONFIG)
+    rows = [
+        {
+            "wavelength_nm": wl * 1e9,
+            "on_db": on,
+            "off_db": off,
+        }
+        for wl, on, off in zip(
+            result.wavelengths_m, result.on_transmission_db, result.off_transmission_db
+        )
+    ]
+    return result.render_text(), rows
+
+
+def _run_figure4() -> tuple[str, list[dict]]:
+    result = run_figure4(DEFAULT_CONFIG)
+    rows = [
+        {"op_laser_uw": op, "p_laser_mw": p}
+        for op, p in zip(result.optical_power_uw, result.laser_power_mw)
+    ]
+    return result.render_text(), rows
+
+
+def _run_figure5() -> tuple[str, list[dict]]:
+    result = run_figure5(DEFAULT_CONFIG)
+    rows = []
+    for name, points in result.series.items():
+        for point in points:
+            rows.append(
+                {
+                    "code": name,
+                    "target_ber": point.target_ber,
+                    "op_laser_uw": point.laser_output_power_uw,
+                    "p_laser_mw": point.laser_power_mw,
+                    "feasible": point.feasible,
+                }
+            )
+    return result.render_text(), rows
+
+
+def _run_figure6a() -> tuple[str, list[dict]]:
+    result = run_figure6a(DEFAULT_CONFIG)
+    rows = [breakdown.as_dict() for breakdown in result.breakdowns.values()]
+    return result.render_text(), rows
+
+
+def _run_figure6b() -> tuple[str, list[dict]]:
+    result = run_figure6b(DEFAULT_CONFIG)
+    rows = [
+        {
+            "code": p.code_name,
+            "target_ber": p.target_ber,
+            "communication_time": p.communication_time,
+            "channel_power_mw": p.channel_power_w * 1e3,
+        }
+        for p in result.points
+    ]
+    return result.render_text(), rows
+
+
+def _run_headline() -> tuple[str, list[dict]]:
+    result = run_headline(DEFAULT_CONFIG)
+    rows = [
+        {"quantity": c.quantity, "measured": c.measured, "paper": c.reference, "unit": c.unit}
+        for c in result.comparisons
+    ]
+    return result.render_text(), rows
+
+
+def _run_calibration() -> tuple[str, list[dict]]:
+    result = run_calibration(DEFAULT_CONFIG)
+    rows = [
+        {"component": name, "loss_db": value}
+        for name, value in result.loss_breakdown_db.items()
+    ]
+    return result.render_text(), rows
+
+
+EXPERIMENTS: Dict[str, Callable[[], tuple[str, list[dict]]]] = {
+    "table1": _run_table1,
+    "figure3": _run_figure3,
+    "figure4": _run_figure4,
+    "figure5": _run_figure5,
+    "figure6a": _run_figure6a,
+    "figure6b": _run_figure6b,
+    "headline": _run_headline,
+    "calibration": _run_calibration,
+}
+"""Mapping from experiment name to its runner (text, csv rows)."""
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of ``repro-experiments``."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help=f"experiments to run (default: all); available: {', '.join(sorted(EXPERIMENTS))}",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        default=None,
+        help="directory in which to write one CSV file per experiment",
+    )
+    args = parser.parse_args(argv)
+
+    names = args.experiments if args.experiments else sorted(EXPERIMENTS)
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(
+            f"unknown experiment(s) {unknown}; available: {', '.join(sorted(EXPERIMENTS))}"
+        )
+    for name in names:
+        text, rows = EXPERIMENTS[name]()
+        print(section(f"Experiment {name}", text))
+        if args.csv:
+            os.makedirs(args.csv, exist_ok=True)
+            path = os.path.join(args.csv, f"{name}.csv")
+            with open(path, "w", encoding="utf-8", newline="") as handle:
+                handle.write(rows_to_csv(rows))
+            print(f"[wrote {path}]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    raise SystemExit(main())

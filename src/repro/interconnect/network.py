@@ -1,0 +1,92 @@
+"""The full optical interconnect: one MWSR channel per reader ONI.
+
+Aggregates the per-channel models into network-level figures: total optical
+and electrical power for a given coding configuration, bisection/aggregate
+bandwidth, and per-channel worst-case laser requirements.  This is the level
+at which the paper's "22 W saved over the whole interconnect" claim lives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..config import DEFAULT_CONFIG, PaperConfig
+from ..exceptions import ConfigurationError
+from ..link.design import OpticalLinkDesigner
+from ..power.channel import ChannelPowerBreakdown, channel_power_breakdown
+from ..interfaces.synthesis import synthesize_interfaces
+from .mwsr import MWSRChannel
+from .oni import OpticalNetworkInterface
+from .topology import RingTopology
+
+__all__ = ["OpticalNetwork"]
+
+
+@dataclass
+class OpticalNetwork:
+    """All ONIs and MWSR channels of the nanophotonic interconnect."""
+
+    config: PaperConfig = field(default_factory=lambda: DEFAULT_CONFIG)
+
+    def __post_init__(self) -> None:
+        self.topology = RingTopology.from_config(self.config)
+        self.onis: List[OpticalNetworkInterface] = [
+            OpticalNetworkInterface(index=i, config=self.config)
+            for i in range(self.config.num_onis)
+        ]
+        self.channels: Dict[int, MWSRChannel] = {
+            reader: MWSRChannel(reader=reader, config=self.config, topology=self.topology)
+            for reader in range(self.config.num_onis)
+        }
+        self._designer = OpticalLinkDesigner(config=self.config)
+        self._synthesis = synthesize_interfaces(config=self.config)
+
+    # ------------------------------------------------------------------ structure
+    @property
+    def num_onis(self) -> int:
+        """Number of ONIs (and therefore of MWSR channels)."""
+        return self.config.num_onis
+
+    def channel_for_reader(self, reader: int) -> MWSRChannel:
+        """The MWSR channel read by a given ONI."""
+        if reader not in self.channels:
+            raise ConfigurationError(f"no channel with reader {reader}")
+        return self.channels[reader]
+
+    # ------------------------------------------------------------------ figures
+    @property
+    def aggregate_raw_bandwidth_bits_per_s(self) -> float:
+        """Sum of the raw optical bandwidth of every channel."""
+        return sum(channel.raw_bandwidth_bits_per_s for channel in self.channels.values())
+
+    def channel_power(self, code, target_ber: float) -> ChannelPowerBreakdown:
+        """Per-wavelength power breakdown of one channel under a coding scheme."""
+        return channel_power_breakdown(
+            code,
+            target_ber,
+            config=self.config,
+            designer=self._designer,
+            synthesis=self._synthesis,
+        )
+
+    def total_power_w(self, code, target_ber: float) -> float:
+        """Total interconnect power when every channel runs the same scheme."""
+        per_wavelength = self.channel_power(code, target_ber).total_power_w
+        per_channel = (
+            per_wavelength
+            * self.config.num_wavelengths
+            * self.config.num_waveguides_per_channel
+        )
+        return per_channel * self.num_onis
+
+    @property
+    def total_interface_area_um2(self) -> float:
+        """Total electrical interface area across every ONI."""
+        return sum(oni.interface_area_um2 for oni in self.onis)
+
+    def power_saving_w(self, baseline_code, improved_code, target_ber: float) -> float:
+        """Interconnect-level power saving of one scheme over another."""
+        return self.total_power_w(baseline_code, target_ber) - self.total_power_w(
+            improved_code, target_ber
+        )

@@ -1,0 +1,82 @@
+"""Optical Network Interface (ONI).
+
+Each ONI couples an IP core on the electrical layer (through a TSV bundle)
+to the optical layer: it owns a transmitter interface (writer role, one per
+channel it writes on) and a receiver interface (reader role, for its own
+channel).  The object tracks the currently configured communication mode of
+each role, mirroring the configuration messages of the link manager.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import DEFAULT_CONFIG, PaperConfig
+from ..exceptions import ConfigurationError
+from ..interfaces.receiver import ReceiverInterface
+from ..interfaces.transmitter import TransmitterInterface, UNCODED_MODE
+
+__all__ = ["OpticalNetworkInterface"]
+
+
+@dataclass
+class OpticalNetworkInterface:
+    """One ONI with its electrical transmitter and receiver interfaces."""
+
+    index: int
+    config: PaperConfig = field(default_factory=lambda: DEFAULT_CONFIG)
+    transmitter: TransmitterInterface | None = None
+    receiver: ReceiverInterface | None = None
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ConfigurationError("ONI index cannot be negative")
+        if self.transmitter is None:
+            self.transmitter = TransmitterInterface.paper_default()
+        if self.receiver is None:
+            self.receiver = ReceiverInterface.paper_default()
+        self._tx_mode = UNCODED_MODE
+        self._rx_mode = UNCODED_MODE
+
+    # ------------------------------------------------------------------ configuration
+    @property
+    def transmit_mode(self) -> str:
+        """Currently selected transmitter communication mode."""
+        return self._tx_mode
+
+    @property
+    def receive_mode(self) -> str:
+        """Currently selected receiver communication mode."""
+        return self._rx_mode
+
+    def configure_transmit(self, mode: str) -> None:
+        """Select the transmitter path (must exist in the TX interface)."""
+        if mode not in self.transmitter.modes():
+            raise ConfigurationError(
+                f"transmitter of ONI {self.index} has no mode {mode!r}"
+            )
+        self._tx_mode = mode
+
+    def configure_receive(self, mode: str) -> None:
+        """Select the receiver path (must exist in the RX interface)."""
+        if mode not in self.receiver.modes():
+            raise ConfigurationError(
+                f"receiver of ONI {self.index} has no mode {mode!r}"
+            )
+        self._rx_mode = mode
+
+    # ------------------------------------------------------------------ figures
+    @property
+    def interface_area_um2(self) -> float:
+        """Total electrical interface area of the ONI (TX + RX)."""
+        return self.transmitter.total_area_um2 + self.receiver.total_area_um2
+
+    def interface_power_w(self) -> float:
+        """Electrical interface power at the currently configured modes."""
+        return self.transmitter.total_power_w(self._tx_mode) + self.receiver.total_power_w(
+            self._rx_mode
+        )
+
+    def ip_bandwidth_bits_per_s(self) -> float:
+        """IP-side bandwidth this ONI can source or sink."""
+        return self.config.ip_bandwidth_bits_per_s

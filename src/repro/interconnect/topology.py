@@ -1,0 +1,109 @@
+"""Placement of ONIs on the optical layer and waveguide distances.
+
+The paper evaluates a serpentine/ring-style layout where the worst-case
+writer-to-reader distance is 6 cm.  The topology object places the ONIs
+uniformly along a waveguide loop of that worst-case length and answers
+distance queries; alternative spacings can be supplied for floorplan
+studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..config import DEFAULT_CONFIG, PaperConfig
+from ..exceptions import ConfigurationError
+
+__all__ = ["RingTopology"]
+
+
+@dataclass(frozen=True)
+class RingTopology:
+    """Unidirectional ring of ONIs along a shared waveguide.
+
+    Parameters
+    ----------
+    num_onis:
+        Number of optical network interfaces on the ring.
+    loop_length_m:
+        Physical length of the full waveguide loop; the worst-case
+        writer-to-reader path (one hop short of the full loop) matches the
+        paper's 6 cm when the default is used.
+    positions_m:
+        Optional explicit ONI positions along the loop (monotonically
+        increasing, all within the loop length).  Uniform placement is used
+        when omitted.
+    """
+
+    num_onis: int = 12
+    loop_length_m: float = 0.0654545454545
+    positions_m: Tuple[float, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_onis < 2:
+            raise ConfigurationError("a ring needs at least two ONIs")
+        if self.loop_length_m <= 0:
+            raise ConfigurationError("loop length must be positive")
+        if self.positions_m is not None:
+            if len(self.positions_m) != self.num_onis:
+                raise ConfigurationError("positions must list one entry per ONI")
+            if any(p < 0 or p >= self.loop_length_m for p in self.positions_m):
+                raise ConfigurationError("positions must lie within the loop length")
+            if any(b <= a for a, b in zip(self.positions_m, self.positions_m[1:])):
+                raise ConfigurationError("positions must be strictly increasing")
+
+    @classmethod
+    def from_config(cls, config: PaperConfig = DEFAULT_CONFIG) -> "RingTopology":
+        """Topology whose worst-case writer→reader distance equals the config's.
+
+        With ``N`` uniformly placed ONIs the worst-case downstream path spans
+        ``N - 1`` of the ``N`` segments, so the loop is scaled accordingly.
+        """
+        worst_case = config.waveguide_length_m
+        loop = worst_case * config.num_onis / (config.num_onis - 1)
+        return cls(num_onis=config.num_onis, loop_length_m=loop)
+
+    # ------------------------------------------------------------------ queries
+    def position(self, oni_index: int) -> float:
+        """Position of one ONI along the loop, in metres."""
+        self._check_index(oni_index)
+        if self.positions_m is not None:
+            return self.positions_m[oni_index]
+        return self.loop_length_m * oni_index / self.num_onis
+
+    def downstream_distance(self, from_oni: int, to_oni: int) -> float:
+        """Distance travelled by light from one ONI to another (unidirectional)."""
+        self._check_index(from_oni)
+        self._check_index(to_oni)
+        if from_oni == to_oni:
+            return 0.0
+        delta = self.position(to_oni) - self.position(from_oni)
+        if delta <= 0:
+            delta += self.loop_length_m
+        return delta
+
+    def worst_case_distance(self, reader: int) -> float:
+        """Longest writer→reader distance on the channel read by ``reader``."""
+        return max(
+            self.downstream_distance(writer, reader)
+            for writer in range(self.num_onis)
+            if writer != reader
+        )
+
+    def onis_crossed(self, from_oni: int, to_oni: int) -> Sequence[int]:
+        """ONIs the signal passes strictly between a writer and a reader."""
+        self._check_index(from_oni)
+        self._check_index(to_oni)
+        crossed = []
+        current = (from_oni + 1) % self.num_onis
+        while current != to_oni:
+            crossed.append(current)
+            current = (current + 1) % self.num_onis
+        return crossed
+
+    def _check_index(self, oni_index: int) -> None:
+        if not 0 <= oni_index < self.num_onis:
+            raise ConfigurationError(
+                f"ONI index {oni_index} outside [0, {self.num_onis - 1}]"
+            )

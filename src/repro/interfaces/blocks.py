@@ -1,0 +1,210 @@
+"""Parametric area/power/timing models of the interface building blocks.
+
+The paper's Table I characterises the exact blocks it needs (H(7,4) x16,
+H(71,64), 64/71/112-bit SER/DES, 3-to-1 muxes).  To let users explore other
+codes, bus widths and modulation rates, this module provides parametric
+estimators calibrated on those entries:
+
+* Hamming encoders are XOR trees (one per parity bit) plus output registers;
+* Hamming decoders add syndrome decode and correction logic per codeword bit;
+* serialisers / deserialisers are register pipelines whose depth equals the
+  block length, clocked at the modulation rate;
+* path muxes scale linearly with their width.
+
+Estimates are intentionally simple (linear in gate counts, frequency-scaled
+dynamic power) — they are meant to extend Table I by interpolation, not to
+replace a synthesis flow.  ``tests/interfaces`` checks that the estimators
+land within ~25% of every Table I entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..exceptions import ConfigurationError
+from .techlib import BlockCharacterisation, FDSOI_28NM, TechnologyLibrary
+
+__all__ = [
+    "HardwareBlock",
+    "hamming_codec_block",
+    "serializer_block",
+    "deserializer_block",
+    "mux_block",
+    "aggregate_blocks",
+]
+
+
+@dataclass(frozen=True)
+class HardwareBlock:
+    """A block instance: its characterisation plus the mode(s) that use it."""
+
+    characterisation: BlockCharacterisation
+    modes: tuple[str, ...]
+    always_on: bool = False
+
+    @property
+    def name(self) -> str:
+        """Block name (taken from the characterisation)."""
+        return self.characterisation.name
+
+    def active_in(self, mode: str) -> bool:
+        """True when the block consumes dynamic power in the given mode."""
+        return self.always_on or mode in self.modes
+
+
+def _codec_gate_counts(code, num_instances: int) -> tuple[int, int, int]:
+    """(xor2 gates, output flip-flops, codeword bits) of a codec bank.
+
+    Each parity bit is an XOR tree over the message bits it covers; the
+    number of 2-input XORs is (inputs - 1).  The generator matrix gives the
+    exact cover sizes, so the estimate adapts to shortened codes.
+    """
+    generator = code.generator_matrix
+    parity_columns = generator[:, code.k:]
+    xor2 = 0
+    for parity_index in range(parity_columns.shape[1]):
+        inputs = int(parity_columns[:, parity_index].sum())
+        xor2 += max(inputs - 1, 0)
+    flipflops = code.n
+    return xor2 * num_instances, flipflops * num_instances, code.n * num_instances
+
+
+def hamming_codec_block(
+    code,
+    *,
+    role: str,
+    num_instances: int = 1,
+    ip_clock_hz: float = 1e9,
+    tech: TechnologyLibrary = FDSOI_28NM,
+) -> BlockCharacterisation:
+    """Estimate a bank of Hamming encoders or decoders.
+
+    Parameters
+    ----------
+    code:
+        A systematic linear block code (needs ``generator_matrix``/``n``/``k``).
+    role:
+        Either ``"encoder"`` or ``"decoder"``.
+    num_instances:
+        Number of parallel codec instances (16 for H(7,4) on a 64-bit bus).
+    ip_clock_hz:
+        Clock of the codec stage; dynamic power scales linearly with it.
+    tech:
+        Technology library providing the calibration constants.
+    """
+    if role not in {"encoder", "decoder"}:
+        raise ConfigurationError("role must be 'encoder' or 'decoder'")
+    if num_instances < 1:
+        raise ConfigurationError("at least one codec instance is required")
+    xor2, flipflops, codeword_bits = _codec_gate_counts(code, num_instances)
+    xor_area = tech.calibration("xor2_area_um2")
+    ff_area = tech.calibration("flipflop_area_um2")
+    area = xor2 * xor_area + flipflops * ff_area
+    # Critical path: the deepest parity tree (log2 depth) plus register setup.
+    generator = code.generator_matrix
+    max_inputs = max(
+        int(generator[:, code.k + i].sum()) for i in range(code.num_parity_bits)
+    )
+    import math
+
+    tree_depth = max(1, math.ceil(math.log2(max(max_inputs, 2))))
+    critical_path = tree_depth * tech.calibration("xor2_delay_ps") + tech.calibration(
+        "register_setup_ps"
+    )
+    if role == "decoder":
+        area += codeword_bits * tech.calibration("decode_correct_area_um2_per_bit")
+        critical_path += 2 * tech.calibration("xor2_delay_ps")
+    density = tech.calibration("codec_dynamic_power_density_uw_per_um2_at_1ghz")
+    dynamic = area * density * (ip_clock_hz / tech.calibration("reference_ip_clock_hz"))
+    static = area * tech.calibration("static_power_density_nw_per_um2")
+    label = f"{role}:{code.name}x{num_instances}"
+    return BlockCharacterisation(
+        name=label,
+        area_um2=area,
+        critical_path_ps=critical_path,
+        static_power_nw=static,
+        dynamic_power_uw=dynamic,
+    )
+
+
+def serializer_block(
+    num_bits: int,
+    *,
+    modulation_rate_hz: float = 10e9,
+    tech: TechnologyLibrary = FDSOI_28NM,
+) -> BlockCharacterisation:
+    """Estimate an ``num_bits``-deep serialiser clocked at the modulation rate."""
+    if num_bits < 1:
+        raise ConfigurationError("serialiser depth must be positive")
+    area = num_bits * tech.calibration("serializer_area_um2_per_bit")
+    rate_scale = modulation_rate_hz / tech.calibration("reference_modulation_rate_hz")
+    dynamic = num_bits * tech.calibration("serializer_dynamic_uw_per_bit_at_10g") * rate_scale
+    static = area * tech.calibration("static_power_density_nw_per_um2") * 4.0
+    return BlockCharacterisation(
+        name=f"ser:{num_bits}b",
+        area_um2=area,
+        critical_path_ps=70.0,
+        static_power_nw=static,
+        dynamic_power_uw=dynamic,
+    )
+
+
+def deserializer_block(
+    num_bits: int,
+    *,
+    modulation_rate_hz: float = 10e9,
+    tech: TechnologyLibrary = FDSOI_28NM,
+) -> BlockCharacterisation:
+    """Estimate an ``num_bits``-deep deserialiser clocked at the modulation rate."""
+    if num_bits < 1:
+        raise ConfigurationError("deserialiser depth must be positive")
+    area = num_bits * tech.calibration("deserializer_area_um2_per_bit")
+    rate_scale = modulation_rate_hz / tech.calibration("reference_modulation_rate_hz")
+    dynamic = (
+        num_bits * tech.calibration("deserializer_dynamic_uw_per_bit_at_10g") * rate_scale
+    )
+    static = area * tech.calibration("static_power_density_nw_per_um2") * 4.0
+    return BlockCharacterisation(
+        name=f"deser:{num_bits}b",
+        area_um2=area,
+        critical_path_ps=60.0,
+        static_power_nw=static,
+        dynamic_power_uw=dynamic,
+    )
+
+
+def mux_block(
+    width_bits: int,
+    num_inputs: int = 3,
+    *,
+    tech: TechnologyLibrary = FDSOI_28NM,
+) -> BlockCharacterisation:
+    """Estimate a ``num_inputs``-to-1 path multiplexer of a given width."""
+    if width_bits < 1 or num_inputs < 2:
+        raise ConfigurationError("mux needs a positive width and at least two inputs")
+    scale = (num_inputs - 1) / 2.0
+    area = width_bits * tech.calibration("mux_area_um2_per_bit") * scale
+    dynamic = width_bits * tech.calibration("mux_dynamic_uw_per_bit") * scale
+    static = area * tech.calibration("static_power_density_nw_per_um2") * 4.0
+    return BlockCharacterisation(
+        name=f"mux:{width_bits}b_{num_inputs}to1",
+        area_um2=area,
+        critical_path_ps=80.0,
+        static_power_nw=static,
+        dynamic_power_uw=dynamic,
+    )
+
+
+def aggregate_blocks(blocks: Iterable[BlockCharacterisation], name: str) -> BlockCharacterisation:
+    """Sum areas and powers of several blocks; critical path is the maximum."""
+    blocks = list(blocks)
+    if not blocks:
+        raise ConfigurationError("cannot aggregate an empty block list")
+    return BlockCharacterisation(
+        name=name,
+        area_um2=sum(b.area_um2 for b in blocks),
+        critical_path_ps=max(b.critical_path_ps for b in blocks),
+        static_power_nw=sum(b.static_power_nw for b in blocks),
+        dynamic_power_uw=sum(b.dynamic_power_uw for b in blocks),
+    )

@@ -1,0 +1,171 @@
+"""Operating-point solver: (ECC, target BER) → laser powers.
+
+This is the computational core of the paper's evaluation (Figures 5 and 6):
+
+1. the target post-decoding BER and the selected code fix the raw channel
+   BER the link may exhibit (inversion of Eq. 2),
+2. the raw BER fixes the required SNR at the photodetector (inversion of
+   Eq. 3),
+3. the SNR, the worst-case crosstalk and the dark current fix the required
+   received signal power (inversion of Eq. 4),
+4. the MWSR power budget maps that back to the laser output power
+   ``OP_laser``, and
+5. the thermally-limited VCSEL model converts ``OP_laser`` into the
+   electrical laser power ``P_laser`` — or declares the target unreachable
+   when ``OP_laser`` exceeds the 700 uW rating (the paper's BER=1e-12
+   "w/o ECC" case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..channel.ber import required_raw_ber, required_snr
+from ..config import DEFAULT_CONFIG, PaperConfig
+from ..exceptions import ConfigurationError, InfeasibleDesignError, LaserPowerExceededError
+from ..photonics.laser import VCSELModel
+from ..photonics.photodetector import Photodetector
+from .power_budget import LinkPowerBudget
+
+__all__ = ["LinkDesignPoint", "OpticalLinkDesigner"]
+
+
+@dataclass(frozen=True)
+class LinkDesignPoint:
+    """A fully solved optical-link operating point for one coding scheme."""
+
+    code_name: str
+    target_ber: float
+    raw_channel_ber: float
+    required_snr: float
+    signal_power_w: float
+    crosstalk_power_w: float
+    laser_output_power_w: float
+    laser_electrical_power_w: float
+    feasible: bool
+    communication_time: float
+    code_rate: float
+
+    @property
+    def laser_power_mw(self) -> float:
+        """Electrical laser power in milliwatts (P_laser as plotted in Fig. 5)."""
+        return self.laser_electrical_power_w * 1e3
+
+    @property
+    def laser_output_power_uw(self) -> float:
+        """Laser optical output power in microwatts (OP_laser of Fig. 4)."""
+        return self.laser_output_power_w * 1e6
+
+
+@dataclass
+class OpticalLinkDesigner:
+    """Solves link operating points for the paper's MWSR channel.
+
+    Parameters
+    ----------
+    config:
+        Evaluation parameters; defaults to the paper's Section V setup.
+    laser:
+        Laser model; defaults to the PCM-VCSEL model built from ``config``.
+    budget:
+        Optical power budget; defaults to the worst-case MWSR budget built
+        from ``config``.
+    """
+
+    config: PaperConfig = field(default_factory=lambda: DEFAULT_CONFIG)
+    laser: VCSELModel | None = None
+    budget: LinkPowerBudget | None = None
+
+    def __post_init__(self) -> None:
+        if self.laser is None:
+            self.laser = VCSELModel.from_config(self.config)
+        if self.budget is None:
+            self.budget = LinkPowerBudget(config=self.config)
+        self._detector = Photodetector.from_config(self.config)
+
+    # ------------------------------------------------------------------ solving
+    def required_laser_output_power(self, code, target_ber: float) -> float:
+        """OP_laser needed for ``code`` to meet ``target_ber`` (ignores rating).
+
+        Because the worst-case crosstalk scales with the common per-channel
+        laser power, Eq. 4 becomes
+
+        ``SNR = R * OP_laser * G_sig * (1 - xt) / i_n``
+
+        with ``G_sig`` the signal-path transmission and ``xt`` the crosstalk
+        ratio, which is inverted directly.
+        """
+        snr = required_snr(code, target_ber)
+        transmission = self.budget.signal_transmission
+        crosstalk_ratio = self.budget.crosstalk_ratio
+        effective = transmission * (1.0 - crosstalk_ratio)
+        if effective <= 0:
+            raise ConfigurationError("crosstalk exceeds the signal; link is unusable")
+        required_received = self._detector.required_signal_power(snr)
+        return required_received / effective
+
+    def design_point(self, code, target_ber: float) -> LinkDesignPoint:
+        """Solve the full operating point for one code and target BER.
+
+        Infeasible points (laser rating exceeded) are returned with
+        ``feasible=False`` and the electrical power the laser *would* need
+        according to the droop model, so sweeps can still plot them.
+        """
+        if not 0.0 < target_ber < 0.5:
+            raise ConfigurationError("target BER must lie in (0, 0.5)")
+        raw = required_raw_ber(code, target_ber)
+        snr = required_snr(code, target_ber)
+        op_laser = self.required_laser_output_power(code, target_ber)
+        signal = self.budget.received_signal_power(op_laser)
+        crosstalk = self.budget.received_crosstalk_power(op_laser)
+        feasible = self.laser.can_deliver(op_laser)
+        electrical = self.laser.electrical_power(
+            op_laser, activity=self.config.chip_activity, enforce_limit=False
+        )
+        return LinkDesignPoint(
+            code_name=getattr(code, "name", type(code).__name__),
+            target_ber=float(target_ber),
+            raw_channel_ber=float(raw),
+            required_snr=float(snr),
+            signal_power_w=float(signal),
+            crosstalk_power_w=float(crosstalk),
+            laser_output_power_w=float(op_laser),
+            laser_electrical_power_w=float(electrical),
+            feasible=bool(feasible),
+            communication_time=float(code.communication_time_overhead),
+            code_rate=float(code.code_rate),
+        )
+
+    def design_point_strict(self, code, target_ber: float) -> LinkDesignPoint:
+        """Like :meth:`design_point` but raise when the laser cannot deliver."""
+        point = self.design_point(code, target_ber)
+        if not point.feasible:
+            raise LaserPowerExceededError(
+                point.laser_output_power_w, self.laser.max_output_power_w
+            )
+        return point
+
+    def sweep_ber(self, code, target_bers: Sequence[float]) -> list[LinkDesignPoint]:
+        """Solve operating points over a list of target BERs (Figure 5 axis)."""
+        return [self.design_point(code, ber) for ber in target_bers]
+
+    def best_code_for_power_budget(
+        self, codes: Sequence, target_ber: float, max_laser_power_w: float
+    ) -> LinkDesignPoint:
+        """Lowest-CT feasible code whose P_laser fits a power budget.
+
+        Used by the runtime manager: among codes meeting the BER target
+        within the laser power budget, prefer the one with the smallest
+        communication-time overhead (fastest transmission).
+        """
+        candidates = []
+        for code in codes:
+            point = self.design_point(code, target_ber)
+            if point.feasible and point.laser_electrical_power_w <= max_laser_power_w:
+                candidates.append(point)
+        if not candidates:
+            raise InfeasibleDesignError(
+                f"no code meets BER {target_ber:g} within {max_laser_power_w * 1e3:.2f} mW of laser power"
+            )
+        return min(candidates, key=lambda p: (p.communication_time, p.laser_electrical_power_w))

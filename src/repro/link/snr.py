@@ -1,0 +1,41 @@
+"""Photodetector SNR of the optical link (paper Eq. 4) and its inversion.
+
+``SNR = R * (OPsignal - OPcrosstalk) / i_n``
+
+where ``R`` is the photodetector responsivity (1 A/W), ``i_n`` the dark
+current (4 uA), ``OPsignal`` the useful optical signal power reaching the
+photodetector and ``OPcrosstalk`` the worst-case crosstalk power.  The
+helpers here are thin, explicit wrappers so the experiment code reads like
+the paper's equations.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ConfigurationError
+from ..photonics.photodetector import Photodetector
+
+__all__ = ["snr_at_photodetector", "required_signal_power"]
+
+
+def snr_at_photodetector(
+    signal_power_w: float,
+    crosstalk_power_w: float = 0.0,
+    *,
+    detector: Photodetector | None = None,
+) -> float:
+    """Evaluate Eq. 4 for a given received signal and crosstalk power."""
+    pd = detector if detector is not None else Photodetector()
+    return pd.snr(signal_power_w, crosstalk_power_w)
+
+
+def required_signal_power(
+    snr: float,
+    crosstalk_power_w: float = 0.0,
+    *,
+    detector: Photodetector | None = None,
+) -> float:
+    """Invert Eq. 4: the OPsignal needed to reach ``snr`` given crosstalk."""
+    if snr < 0:
+        raise ConfigurationError("SNR cannot be negative")
+    pd = detector if detector is not None else Photodetector()
+    return pd.required_signal_power(snr, crosstalk_power_w)

@@ -1,0 +1,48 @@
+"""Optical Link Energy/Performance Manager (paper Section III-C).
+
+The paper leaves the manager's implementation "out of scope" but describes
+its job precisely: given a communication request with its requirements (BER
+target, deadline/priority, power budget), pick the communication scheme
+(with or without ECC, and which code) and the laser output power, then
+configure both the source and destination interfaces.  This package
+implements that decision layer:
+
+* :mod:`repro.manager.pareto` — Pareto-front extraction over
+  (communication time, channel power), the structure behind Figure 6b.
+* :mod:`repro.manager.policies` — selection policies: minimum power,
+  minimum energy per bit, deadline-constrained, and a laser-power-budget
+  policy.
+* :mod:`repro.manager.manager` — the runtime manager object handling
+  configuration requests for the channels of an interconnect.
+* :mod:`repro.manager.runtime` — a small discrete-time simulation where
+  applications issue transfer requests against the manager.
+"""
+
+from .pareto import ParetoPoint, pareto_front, dominates
+from .policies import (
+    ConfigurationDecision,
+    DeadlineConstrainedPolicy,
+    LaserBudgetPolicy,
+    MinimumEnergyPolicy,
+    MinimumPowerPolicy,
+    SelectionPolicy,
+)
+from .manager import CommunicationRequest, LinkConfiguration, OpticalLinkManager
+from .runtime import RuntimeSimulation, TransferOutcome
+
+__all__ = [
+    "ParetoPoint",
+    "pareto_front",
+    "dominates",
+    "ConfigurationDecision",
+    "SelectionPolicy",
+    "MinimumPowerPolicy",
+    "MinimumEnergyPolicy",
+    "DeadlineConstrainedPolicy",
+    "LaserBudgetPolicy",
+    "CommunicationRequest",
+    "LinkConfiguration",
+    "OpticalLinkManager",
+    "RuntimeSimulation",
+    "TransferOutcome",
+]

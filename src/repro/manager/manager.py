@@ -1,0 +1,159 @@
+"""The Optical Link Energy/Performance Manager.
+
+The paper describes a shared manager that receives configuration requests
+from source cores ("I need to talk to destination D with requirements R"),
+selects the communication scheme (with or without ECC) and the laser output
+power, and answers with the configuration both sides must apply.  This
+module implements that request/response protocol on top of the link
+designer, the power models and the selection policies.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Sequence
+
+from ..coding.registry import paper_code_set
+from ..config import DEFAULT_CONFIG, PaperConfig
+from ..exceptions import ConfigurationError
+from ..interfaces.synthesis import SynthesisReport, synthesize_interfaces
+from ..link.design import OpticalLinkDesigner
+from ..power.channel import ChannelPowerBreakdown, channel_power_breakdown
+from .policies import ConfigurationDecision, MinimumPowerPolicy, SelectionPolicy
+
+__all__ = ["CommunicationRequest", "LinkConfiguration", "OpticalLinkManager"]
+
+
+@dataclass(frozen=True)
+class CommunicationRequest:
+    """A configuration request issued by a source core to the manager."""
+
+    source: int
+    destination: int
+    target_ber: float
+    payload_bits: int = 64
+    max_communication_time: float | None = None
+    policy: SelectionPolicy | None = None
+
+    def __post_init__(self) -> None:
+        if self.source == self.destination:
+            raise ConfigurationError("source and destination must differ")
+        if not 0.0 < self.target_ber < 0.5:
+            raise ConfigurationError("target BER must lie in (0, 0.5)")
+        if self.payload_bits <= 0:
+            raise ConfigurationError("payload must contain at least one bit")
+
+
+@dataclass(frozen=True)
+class LinkConfiguration:
+    """The manager's answer: what both interface sides must apply."""
+
+    request: CommunicationRequest
+    decision: ConfigurationDecision
+    laser_output_power_w: float
+    configuration_id: int
+
+    @property
+    def code_name(self) -> str:
+        """Coding scheme both sides must select."""
+        return self.decision.code_name
+
+    @property
+    def communication_time(self) -> float:
+        """Communication-time overhead of the selected scheme."""
+        return self.decision.communication_time
+
+    @property
+    def channel_power_w(self) -> float:
+        """Per-wavelength channel power at this configuration."""
+        return self.decision.channel_power_w
+
+
+class OpticalLinkManager:
+    """Centralised manager configuring the ECC mode and laser power per request."""
+
+    def __init__(
+        self,
+        *,
+        config: PaperConfig = DEFAULT_CONFIG,
+        codes: Sequence | None = None,
+        default_policy: SelectionPolicy | None = None,
+    ):
+        self._config = config
+        self._codes = list(codes) if codes is not None else paper_code_set(config.ip_bus_width_bits)
+        if not self._codes:
+            raise ConfigurationError("the manager needs at least one coding scheme")
+        self._designer = OpticalLinkDesigner(config=config)
+        self._synthesis: SynthesisReport = synthesize_interfaces(config=config)
+        self._default_policy: SelectionPolicy = (
+            default_policy if default_policy is not None else MinimumPowerPolicy()
+        )
+        self._configuration_counter = itertools.count(1)
+        self._active: Dict[tuple[int, int], LinkConfiguration] = {}
+        self._candidate_cache: Dict[float, list[ChannelPowerBreakdown]] = {}
+
+    # ------------------------------------------------------------------ queries
+    @property
+    def config(self) -> PaperConfig:
+        """Interconnect parameters the manager was built for."""
+        return self._config
+
+    @property
+    def codes(self) -> list:
+        """Coding schemes the manager can select between."""
+        return list(self._codes)
+
+    def active_configurations(self) -> list[LinkConfiguration]:
+        """Currently applied configurations (one per source/destination pair)."""
+        return list(self._active.values())
+
+    # ------------------------------------------------------------------ requests
+    def candidates_for(self, target_ber: float) -> list[ChannelPowerBreakdown]:
+        """Channel-power breakdowns of every scheme at one BER target (cached)."""
+        key = float(target_ber)
+        if key not in self._candidate_cache:
+            self._candidate_cache[key] = [
+                channel_power_breakdown(
+                    code,
+                    key,
+                    config=self._config,
+                    designer=self._designer,
+                    synthesis=self._synthesis,
+                )
+                for code in self._codes
+            ]
+        return self._candidate_cache[key]
+
+    def configure(self, request: CommunicationRequest) -> LinkConfiguration:
+        """Handle one configuration request and record the applied configuration."""
+        self._validate_endpoints(request)
+        candidates = self.candidates_for(request.target_ber)
+        policy = request.policy if request.policy is not None else self._default_policy
+        if request.max_communication_time is not None:
+            candidates = [
+                c for c in candidates if c.communication_time <= request.max_communication_time
+            ]
+        decision = policy.select(candidates, config=self._config)
+        code = next(c for c in self._codes if c.name == decision.code_name)
+        laser_output = self._designer.required_laser_output_power(code, request.target_ber)
+        configuration = LinkConfiguration(
+            request=request,
+            decision=decision,
+            laser_output_power_w=laser_output,
+            configuration_id=next(self._configuration_counter),
+        )
+        self._active[(request.source, request.destination)] = configuration
+        return configuration
+
+    def release(self, source: int, destination: int) -> None:
+        """Drop the configuration of one source/destination pair (end of stream)."""
+        self._active.pop((source, destination), None)
+
+    def _validate_endpoints(self, request: CommunicationRequest) -> None:
+        upper = self._config.num_onis
+        for endpoint in (request.source, request.destination):
+            if not 0 <= endpoint < upper:
+                raise ConfigurationError(
+                    f"ONI index {endpoint} outside [0, {upper - 1}] for this interconnect"
+                )

@@ -1,0 +1,196 @@
+"""Selection policies of the link energy/performance manager.
+
+A policy looks at the candidate configurations (one per available coding
+scheme, each already solved into a channel-power breakdown) and picks the
+one best matching the request.  The paper motivates two application classes:
+real-time traffic with deadlines (favour low communication time) and
+throughput/multimedia traffic where energy matters more (favour low power or
+low energy per bit, possibly degrading the BER); the policies below cover
+both plus a laser-power-budget variant for thermally constrained scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+from ..config import DEFAULT_CONFIG, PaperConfig
+from ..exceptions import InfeasibleDesignError
+from ..power.channel import ChannelPowerBreakdown
+from ..power.energy import energy_metrics
+
+__all__ = [
+    "ConfigurationDecision",
+    "SelectionPolicy",
+    "MinimumPowerPolicy",
+    "MinimumEnergyPolicy",
+    "DeadlineConstrainedPolicy",
+    "LaserBudgetPolicy",
+]
+
+
+@dataclass(frozen=True)
+class ConfigurationDecision:
+    """The configuration a policy selected, with its justification."""
+
+    breakdown: ChannelPowerBreakdown
+    policy_name: str
+    reason: str
+
+    @property
+    def code_name(self) -> str:
+        """Selected coding scheme."""
+        return self.breakdown.code_name
+
+    @property
+    def channel_power_w(self) -> float:
+        """Per-wavelength channel power of the selected configuration."""
+        return self.breakdown.total_power_w
+
+    @property
+    def communication_time(self) -> float:
+        """Communication-time overhead of the selected configuration."""
+        return self.breakdown.communication_time
+
+
+class SelectionPolicy(Protocol):
+    """Protocol implemented by every selection policy."""
+
+    name: str
+
+    def select(
+        self, candidates: Sequence[ChannelPowerBreakdown], *, config: PaperConfig
+    ) -> ConfigurationDecision:
+        """Pick one candidate; raise InfeasibleDesignError if none qualifies."""
+        ...
+
+
+def _feasible(candidates: Sequence[ChannelPowerBreakdown]) -> list[ChannelPowerBreakdown]:
+    feasible = [c for c in candidates if c.feasible]
+    if not feasible:
+        raise InfeasibleDesignError("no candidate configuration is feasible for this request")
+    return feasible
+
+
+@dataclass
+class MinimumPowerPolicy:
+    """Pick the feasible configuration with the lowest channel power."""
+
+    name: str = "min-power"
+
+    def select(
+        self,
+        candidates: Sequence[ChannelPowerBreakdown],
+        *,
+        config: PaperConfig = DEFAULT_CONFIG,
+    ) -> ConfigurationDecision:
+        """Select the candidate minimising per-wavelength channel power."""
+        best = min(_feasible(candidates), key=lambda c: c.total_power_w)
+        return ConfigurationDecision(
+            breakdown=best,
+            policy_name=self.name,
+            reason=f"lowest channel power ({best.total_power_mw:.2f} mW per wavelength)",
+        )
+
+
+@dataclass
+class MinimumEnergyPolicy:
+    """Pick the feasible configuration with the lowest energy per useful bit."""
+
+    name: str = "min-energy"
+    ip_referenced: bool = False
+
+    def select(
+        self,
+        candidates: Sequence[ChannelPowerBreakdown],
+        *,
+        config: PaperConfig = DEFAULT_CONFIG,
+    ) -> ConfigurationDecision:
+        """Select the candidate minimising energy per bit."""
+
+        def energy(c: ChannelPowerBreakdown) -> float:
+            metrics = energy_metrics(c, config=config)
+            return (
+                metrics.energy_per_bit_ip_j
+                if self.ip_referenced
+                else metrics.energy_per_bit_modulation_j
+            )
+
+        best = min(_feasible(candidates), key=energy)
+        picked_energy = energy(best) * 1e12
+        return ConfigurationDecision(
+            breakdown=best,
+            policy_name=self.name,
+            reason=f"lowest energy per bit ({picked_energy:.2f} pJ/bit)",
+        )
+
+
+@dataclass
+class DeadlineConstrainedPolicy:
+    """Lowest-power configuration whose communication time meets a deadline.
+
+    The deadline is expressed as the maximum tolerable communication-time
+    overhead (e.g. 1.2 means "at most 20% slower than an uncoded transfer"),
+    which is how the paper frames real-time constraints.
+    """
+
+    max_communication_time: float
+    name: str = "deadline"
+
+    def select(
+        self,
+        candidates: Sequence[ChannelPowerBreakdown],
+        *,
+        config: PaperConfig = DEFAULT_CONFIG,
+    ) -> ConfigurationDecision:
+        """Select the lowest-power candidate within the deadline."""
+        feasible = _feasible(candidates)
+        within = [c for c in feasible if c.communication_time <= self.max_communication_time]
+        if not within:
+            raise InfeasibleDesignError(
+                f"no configuration meets the communication-time bound {self.max_communication_time:.2f}"
+            )
+        best = min(within, key=lambda c: c.total_power_w)
+        return ConfigurationDecision(
+            breakdown=best,
+            policy_name=self.name,
+            reason=(
+                f"lowest power among CT <= {self.max_communication_time:.2f} "
+                f"({best.total_power_mw:.2f} mW, CT = {best.communication_time:.2f})"
+            ),
+        )
+
+
+@dataclass
+class LaserBudgetPolicy:
+    """Fastest configuration whose laser power fits a per-wavelength budget.
+
+    Useful for hot-spot management: the budget caps the laser electrical
+    power (thermal headroom), and within it the policy favours performance.
+    """
+
+    max_laser_power_w: float
+    name: str = "laser-budget"
+
+    def select(
+        self,
+        candidates: Sequence[ChannelPowerBreakdown],
+        *,
+        config: PaperConfig = DEFAULT_CONFIG,
+    ) -> ConfigurationDecision:
+        """Select the fastest candidate under the laser power budget."""
+        feasible = _feasible(candidates)
+        within = [c for c in feasible if c.laser_power_w <= self.max_laser_power_w]
+        if not within:
+            raise InfeasibleDesignError(
+                f"no configuration keeps the laser under {self.max_laser_power_w * 1e3:.2f} mW"
+            )
+        best = min(within, key=lambda c: (c.communication_time, c.total_power_w))
+        return ConfigurationDecision(
+            breakdown=best,
+            policy_name=self.name,
+            reason=(
+                f"fastest scheme with P_laser <= {self.max_laser_power_w * 1e3:.2f} mW "
+                f"(CT = {best.communication_time:.2f})"
+            ),
+        )

@@ -1,0 +1,23 @@
+"""Power and energy accounting (paper Section IV-E and Section V-C).
+
+* :mod:`repro.power.channel` — per-wavelength channel power
+  ``P_channel = P_ENC+DEC + P_MR + P_laser`` and its breakdown (Figure 6a).
+* :mod:`repro.power.energy` — communication time and energy-per-bit
+  accounting (Figure 6b and the pJ/bit numbers of Section V-C).
+* :mod:`repro.power.interconnect` — aggregation to whole waveguides,
+  channels and the full interconnect (the "22 W saved" headline).
+"""
+
+from .channel import ChannelPowerBreakdown, channel_power_breakdown
+from .energy import EnergyMetrics, communication_time, energy_metrics
+from .interconnect import InterconnectPowerSummary, interconnect_power_summary
+
+__all__ = [
+    "ChannelPowerBreakdown",
+    "channel_power_breakdown",
+    "EnergyMetrics",
+    "communication_time",
+    "energy_metrics",
+    "InterconnectPowerSummary",
+    "interconnect_power_summary",
+]

@@ -1,0 +1,89 @@
+"""Whole-interconnect power aggregation (paper Section V-C headline numbers).
+
+The paper scales the per-wavelength channel power up to the full
+interconnect: 16 wavelengths per waveguide, 16 waveguides per MWSR channel
+and 12 ONIs (one MWSR channel per reader), which turns the ~115 mW saved per
+waveguide into "22 W for the whole interconnect".  This module performs that
+aggregation and the comparison between two configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import DEFAULT_CONFIG, PaperConfig
+from ..exceptions import ConfigurationError
+from .channel import ChannelPowerBreakdown
+
+__all__ = ["InterconnectPowerSummary", "interconnect_power_summary", "interconnect_power_saving_w"]
+
+
+@dataclass(frozen=True)
+class InterconnectPowerSummary:
+    """Aggregated power of one interconnect configuration."""
+
+    code_name: str
+    target_ber: float
+    per_wavelength_power_w: float
+    num_wavelengths: int
+    num_waveguides_per_channel: int
+    num_channels: int
+
+    @property
+    def per_waveguide_power_w(self) -> float:
+        """Power of one waveguide (all its wavelengths)."""
+        return self.per_wavelength_power_w * self.num_wavelengths
+
+    @property
+    def per_channel_power_w(self) -> float:
+        """Power of one MWSR channel (all its waveguides)."""
+        return self.per_waveguide_power_w * self.num_waveguides_per_channel
+
+    @property
+    def total_power_w(self) -> float:
+        """Power of the whole interconnect (one channel per ONI/reader)."""
+        return self.per_channel_power_w * self.num_channels
+
+    def as_dict(self) -> dict[str, float]:
+        """Summary as a plain dictionary."""
+        return {
+            "code": self.code_name,
+            "target_ber": self.target_ber,
+            "per_wavelength_mw": self.per_wavelength_power_w * 1e3,
+            "per_waveguide_mw": self.per_waveguide_power_w * 1e3,
+            "per_channel_w": self.per_channel_power_w,
+            "total_w": self.total_power_w,
+        }
+
+
+def interconnect_power_summary(
+    breakdown: ChannelPowerBreakdown,
+    *,
+    config: PaperConfig = DEFAULT_CONFIG,
+) -> InterconnectPowerSummary:
+    """Aggregate a per-wavelength breakdown up to the whole interconnect."""
+    return InterconnectPowerSummary(
+        code_name=breakdown.code_name,
+        target_ber=breakdown.target_ber,
+        per_wavelength_power_w=breakdown.total_power_w,
+        num_wavelengths=config.num_wavelengths,
+        num_waveguides_per_channel=config.num_waveguides_per_channel,
+        num_channels=config.num_onis,
+    )
+
+
+def interconnect_power_saving_w(
+    baseline: InterconnectPowerSummary, improved: InterconnectPowerSummary
+) -> float:
+    """Total interconnect power saved by moving from ``baseline`` to ``improved``.
+
+    Both summaries must describe the same interconnect geometry.
+    """
+    same_geometry = (
+        baseline.num_wavelengths == improved.num_wavelengths
+        and baseline.num_waveguides_per_channel == improved.num_waveguides_per_channel
+        and baseline.num_channels == improved.num_channels
+    )
+    if not same_geometry:
+        raise ConfigurationError("power savings require identical interconnect geometries")
+    return baseline.total_power_w - improved.total_power_w

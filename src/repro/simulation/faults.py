@@ -1,0 +1,115 @@
+"""Error-injection models for the bit-level simulators.
+
+Two models are provided:
+
+* :class:`IndependentErrorModel` flips each bit independently with a fixed
+  probability — the stochastic twin of the analytic BSC used throughout the
+  paper's equations.
+* :class:`BurstErrorModel` produces two-state (Gilbert-Elliott style) error
+  bursts: a low error probability in the "good" state and a high one in the
+  "bad" state, with geometric sojourn times.  Bursts defeat single-error-
+  correcting Hamming codes unless an interleaver spreads them, which is the
+  behaviour the interleaving experiments demonstrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..coding.matrices import as_gf2
+from ..exceptions import ConfigurationError
+
+__all__ = ["IndependentErrorModel", "BurstErrorModel"]
+
+
+@dataclass
+class IndependentErrorModel:
+    """Independent (memoryless) bit flips with a fixed probability."""
+
+    bit_error_probability: float
+    rng: np.random.Generator | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.bit_error_probability <= 1.0:
+            raise ConfigurationError("bit error probability must lie in [0, 1]")
+        if self.rng is None:
+            self.rng = np.random.default_rng()
+
+    def error_pattern(self, num_bits: int) -> np.ndarray:
+        """A 0/1 vector with ones at the positions to flip."""
+        if num_bits < 0:
+            raise ConfigurationError("number of bits cannot be negative")
+        return (self.rng.random(num_bits) < self.bit_error_probability).astype(np.uint8)
+
+    def apply(self, bits) -> np.ndarray:
+        """Return a copy of ``bits`` with the error pattern applied."""
+        stream = as_gf2(bits).ravel()
+        return stream ^ self.error_pattern(stream.size)
+
+    @property
+    def expected_ber(self) -> float:
+        """Expected raw bit error rate of the model."""
+        return self.bit_error_probability
+
+
+@dataclass
+class BurstErrorModel:
+    """Two-state Gilbert-Elliott burst error model."""
+
+    good_error_probability: float = 1e-6
+    bad_error_probability: float = 0.2
+    good_to_bad_probability: float = 1e-4
+    bad_to_good_probability: float = 0.2
+    rng: np.random.Generator | None = None
+
+    def __post_init__(self) -> None:
+        for name in (
+            "good_error_probability",
+            "bad_error_probability",
+            "good_to_bad_probability",
+            "bad_to_good_probability",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must lie in [0, 1]")
+        if self.rng is None:
+            self.rng = np.random.default_rng()
+        self._in_bad_state = False
+
+    def error_pattern(self, num_bits: int) -> np.ndarray:
+        """Generate a burst-correlated error pattern of a given length."""
+        if num_bits < 0:
+            raise ConfigurationError("number of bits cannot be negative")
+        pattern = np.zeros(num_bits, dtype=np.uint8)
+        uniform = self.rng.random(num_bits * 2).reshape(2, num_bits)
+        for index in range(num_bits):
+            if self._in_bad_state:
+                if uniform[0, index] < self.bad_to_good_probability:
+                    self._in_bad_state = False
+            else:
+                if uniform[0, index] < self.good_to_bad_probability:
+                    self._in_bad_state = True
+            probability = (
+                self.bad_error_probability if self._in_bad_state else self.good_error_probability
+            )
+            if uniform[1, index] < probability:
+                pattern[index] = 1
+        return pattern
+
+    def apply(self, bits) -> np.ndarray:
+        """Return a copy of ``bits`` with a burst error pattern applied."""
+        stream = as_gf2(bits).ravel()
+        return stream ^ self.error_pattern(stream.size)
+
+    @property
+    def expected_ber(self) -> float:
+        """Long-run average bit error rate of the two-state chain."""
+        p_bad = self.good_to_bad_probability / (
+            self.good_to_bad_probability + self.bad_to_good_probability
+        )
+        return (
+            p_bad * self.bad_error_probability
+            + (1.0 - p_bad) * self.good_error_probability
+        )

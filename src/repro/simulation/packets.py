@@ -1,0 +1,96 @@
+"""Packet and message containers used by the message-level simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..coding.matrices import as_gf2
+from ..exceptions import ConfigurationError
+
+__all__ = ["Packet", "Message"]
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A fixed-size unit of payload travelling on the optical channel."""
+
+    source: int
+    destination: int
+    payload_bits: np.ndarray
+    sequence_number: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "payload_bits", as_gf2(self.payload_bits).ravel())
+        if self.payload_bits.size == 0:
+            raise ConfigurationError("a packet must carry at least one bit")
+        if self.source == self.destination:
+            raise ConfigurationError("source and destination must differ")
+
+    @property
+    def size_bits(self) -> int:
+        """Payload size in bits."""
+        return int(self.payload_bits.size)
+
+
+@dataclass
+class Message:
+    """A multi-packet message with bookkeeping for reassembly."""
+
+    source: int
+    destination: int
+    packets: list[Packet] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.source == self.destination:
+            raise ConfigurationError("source and destination must differ")
+        for packet in self.packets:
+            self._check_packet(packet)
+
+    def _check_packet(self, packet: Packet) -> None:
+        if packet.source != self.source or packet.destination != self.destination:
+            raise ConfigurationError("packet endpoints do not match the message endpoints")
+
+    def append(self, packet: Packet) -> None:
+        """Add one packet to the message."""
+        self._check_packet(packet)
+        self.packets.append(packet)
+
+    @property
+    def size_bits(self) -> int:
+        """Total payload size of the message."""
+        return sum(packet.size_bits for packet in self.packets)
+
+    def payload(self) -> np.ndarray:
+        """Concatenated payload of every packet, in sequence order."""
+        if not self.packets:
+            return np.zeros(0, dtype=np.uint8)
+        ordered = sorted(self.packets, key=lambda p: p.sequence_number)
+        return np.concatenate([packet.payload_bits for packet in ordered])
+
+    @classmethod
+    def from_bits(
+        cls, source: int, destination: int, bits, *, packet_size_bits: int = 64
+    ) -> "Message":
+        """Split a bit vector into packets of ``packet_size_bits`` (zero padded)."""
+        if packet_size_bits < 1:
+            raise ConfigurationError("packet size must be positive")
+        stream = as_gf2(bits).ravel()
+        if stream.size == 0:
+            raise ConfigurationError("a message must carry at least one bit")
+        remainder = stream.size % packet_size_bits
+        if remainder:
+            padding = np.zeros(packet_size_bits - remainder, dtype=np.uint8)
+            stream = np.concatenate([stream, padding])
+        message = cls(source=source, destination=destination)
+        for index, start in enumerate(range(0, stream.size, packet_size_bits)):
+            message.append(
+                Packet(
+                    source=source,
+                    destination=destination,
+                    payload_bits=stream[start : start + packet_size_bits],
+                    sequence_number=index,
+                )
+            )
+        return message

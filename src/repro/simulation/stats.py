@@ -1,0 +1,77 @@
+"""Streaming statistics with confidence intervals.
+
+The simulators accumulate latency, energy and error counts over many
+transfers; this helper keeps running mean/variance (Welford's algorithm) so
+long simulations do not need to retain every sample, and provides normal-
+approximation confidence intervals for the reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["StreamingStatistics"]
+
+
+@dataclass
+class StreamingStatistics:
+    """Online mean/variance accumulator (Welford)."""
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+    total: float = 0.0
+
+    def add(self, value: float) -> None:
+        """Fold one sample into the statistics."""
+        value = float(value)
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+        self.total += value
+
+    def extend(self, values) -> None:
+        """Fold an iterable of samples into the statistics."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0 for fewer than two samples)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def standard_deviation(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def standard_error(self) -> float:
+        """Standard error of the mean."""
+        if self.count == 0:
+            return 0.0
+        return self.standard_deviation / math.sqrt(self.count)
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation confidence interval on the mean."""
+        half_width = z * self.standard_error
+        return (self.mean - half_width, self.mean + half_width)
+
+    def as_dict(self) -> dict[str, float]:
+        """Summary dictionary for reports."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "std": self.standard_deviation,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum if self.count else 0.0,
+            "total": self.total,
+        }

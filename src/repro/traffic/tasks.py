@@ -1,0 +1,106 @@
+"""Periodic real-time task sets.
+
+Real-time applications issue communications with hard deadlines; the manager
+must then bound the communication-time overhead when selecting a coding
+scheme.  A :class:`TaskSet` expands periodic tasks into the individual
+requests of a simulation window and knows its own utilisation so infeasible
+sets can be rejected up front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..exceptions import ConfigurationError
+from .generators import TrafficRequest
+
+__all__ = ["PeriodicTask", "TaskSet"]
+
+
+@dataclass(frozen=True)
+class PeriodicTask:
+    """A periodic communication task (payload every period, due by the deadline)."""
+
+    name: str
+    source: int
+    destination: int
+    period_s: float
+    payload_bits: int
+    relative_deadline_s: float
+    target_ber: float = 1e-11
+    phase_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise ConfigurationError("task period must be positive")
+        if self.relative_deadline_s <= 0 or self.relative_deadline_s > self.period_s:
+            raise ConfigurationError("deadline must lie in (0, period]")
+        if self.payload_bits <= 0:
+            raise ConfigurationError("payload must contain at least one bit")
+        if self.source == self.destination:
+            raise ConfigurationError("source and destination must differ")
+        if self.phase_s < 0:
+            raise ConfigurationError("phase cannot be negative")
+
+    def utilisation(self, channel_rate_bits_per_s: float) -> float:
+        """Fraction of the channel this task occupies (uncoded payload)."""
+        if channel_rate_bits_per_s <= 0:
+            raise ConfigurationError("channel rate must be positive")
+        return (self.payload_bits / channel_rate_bits_per_s) / self.period_s
+
+    def releases_until(self, horizon_s: float) -> List[float]:
+        """Release times of the task instances up to the horizon."""
+        if horizon_s < 0:
+            raise ConfigurationError("horizon cannot be negative")
+        releases = []
+        release = self.phase_s
+        while release < horizon_s:
+            releases.append(release)
+            release += self.period_s
+        return releases
+
+
+@dataclass
+class TaskSet:
+    """A collection of periodic tasks sharing the interconnect."""
+
+    tasks: List[PeriodicTask]
+
+    def __post_init__(self) -> None:
+        if not self.tasks:
+            raise ConfigurationError("a task set needs at least one task")
+        names = [task.name for task in self.tasks]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("task names must be unique")
+
+    def total_utilisation(self, channel_rate_bits_per_s: float) -> float:
+        """Total channel utilisation of the set (uncoded payloads)."""
+        return sum(task.utilisation(channel_rate_bits_per_s) for task in self.tasks)
+
+    def is_schedulable(self, channel_rate_bits_per_s: float, *, communication_time: float = 1.0) -> bool:
+        """Necessary utilisation-based schedulability check.
+
+        The coded transmissions stretch every payload by the communication
+        time overhead, so the utilisation scales with CT.
+        """
+        if communication_time < 1.0:
+            raise ConfigurationError("communication time overhead cannot be below 1")
+        return self.total_utilisation(channel_rate_bits_per_s) * communication_time <= 1.0
+
+    def requests_until(self, horizon_s: float) -> List[TrafficRequest]:
+        """Expand the task set into time-ordered traffic requests."""
+        requests: List[TrafficRequest] = []
+        for task in self.tasks:
+            for release in task.releases_until(horizon_s):
+                requests.append(
+                    TrafficRequest(
+                        arrival_time_s=release,
+                        source=task.source,
+                        destination=task.destination,
+                        payload_bits=task.payload_bits,
+                        target_ber=task.target_ber,
+                        deadline_s=task.relative_deadline_s,
+                    )
+                )
+        return sorted(requests, key=lambda request: request.arrival_time_s)

@@ -1,0 +1,94 @@
+"""Tests for the stochastic channels (BSC and OOK/AWGN)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.awgn import OOKAWGNChannel
+from repro.channel.ber import raw_ber_from_snr
+from repro.channel.bsc import BinarySymmetricChannel
+from repro.exceptions import ConfigurationError
+
+
+class TestBinarySymmetricChannel:
+    def test_zero_probability_is_transparent(self, rng):
+        channel = BinarySymmetricChannel(0.0, rng=rng)
+        bits = rng.integers(0, 2, size=1000, dtype=np.uint8)
+        assert np.array_equal(channel.transmit(bits), bits)
+
+    def test_probability_one_flips_everything(self, rng):
+        channel = BinarySymmetricChannel(1.0, rng=rng)
+        bits = rng.integers(0, 2, size=200, dtype=np.uint8)
+        assert np.array_equal(channel.transmit(bits), bits ^ 1)
+
+    def test_empirical_ber_tracks_crossover(self, rng):
+        channel = BinarySymmetricChannel(0.1, rng=rng)
+        bits = np.zeros(40000, dtype=np.uint8)
+        channel.transmit(bits)
+        assert channel.empirical_ber == pytest.approx(0.1, rel=0.1)
+
+    def test_statistics_accumulate_and_reset(self, rng):
+        channel = BinarySymmetricChannel(0.5, rng=rng)
+        channel.transmit(np.zeros(100, dtype=np.uint8))
+        assert channel.bits_transmitted == 100
+        channel.reset_statistics()
+        assert channel.bits_transmitted == 0
+        assert channel.empirical_ber == 0.0
+
+    def test_rejects_invalid_probability(self):
+        with pytest.raises(ConfigurationError):
+            BinarySymmetricChannel(-0.1)
+        with pytest.raises(ConfigurationError):
+            BinarySymmetricChannel(1.1)
+
+
+class TestOOKAWGNChannel:
+    def test_effective_snr_matches_equation_four(self):
+        channel = OOKAWGNChannel(100e-6, crosstalk_power_w=4e-6, dark_current_a=4e-6)
+        assert channel.effective_snr == pytest.approx((100e-6 - 4e-6) / 4e-6)
+
+    def test_analytic_ber_is_equation_three_of_the_snr(self):
+        channel = OOKAWGNChannel(60e-6)
+        assert channel.analytic_ber == pytest.approx(
+            raw_ber_from_snr(channel.effective_snr)
+        )
+
+    def test_noiseless_limit_transmits_correctly(self, rng):
+        # A huge signal makes the error probability negligible.
+        channel = OOKAWGNChannel(1.0, rng=rng)
+        bits = rng.integers(0, 2, size=2000, dtype=np.uint8)
+        assert np.array_equal(channel.transmit(bits), bits)
+
+    def test_measured_ber_matches_analytic_prediction(self, rng):
+        # Pick an SNR giving a conveniently measurable BER (~7e-3).
+        signal = 12e-6
+        channel = OOKAWGNChannel(signal, rng=rng)
+        predicted = channel.analytic_ber
+        bits = rng.integers(0, 2, size=200_000, dtype=np.uint8)
+        received = channel.transmit(bits)
+        measured = np.count_nonzero(received != bits) / bits.size
+        assert measured == pytest.approx(predicted, rel=0.12)
+
+    def test_crosstalk_degrades_the_snr(self):
+        clean = OOKAWGNChannel(100e-6)
+        dirty = OOKAWGNChannel(100e-6, crosstalk_power_w=20e-6)
+        assert dirty.effective_snr < clean.effective_snr
+
+    def test_soft_output_has_two_level_structure(self, rng):
+        channel = OOKAWGNChannel(200e-6, rng=rng)
+        ones = channel.transmit_soft(np.ones(500, dtype=np.uint8))
+        zeros = channel.transmit_soft(np.zeros(500, dtype=np.uint8))
+        assert ones.mean() > zeros.mean()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OOKAWGNChannel(0.0)
+        with pytest.raises(ConfigurationError):
+            OOKAWGNChannel(10e-6, crosstalk_power_w=-1e-6)
+        with pytest.raises(ConfigurationError):
+            OOKAWGNChannel(10e-6, crosstalk_power_w=20e-6)
+        with pytest.raises(ConfigurationError):
+            OOKAWGNChannel(10e-6, extinction_ratio_db=0.0)
+        with pytest.raises(ConfigurationError):
+            OOKAWGNChannel(10e-6, dark_current_a=0.0)

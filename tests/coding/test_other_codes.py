@@ -1,0 +1,181 @@
+"""Tests for the uncoded scheme, SECDED, parity and repetition codes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coding.extended_hamming import ExtendedHammingCode
+from repro.coding.parity import SingleParityCheckCode
+from repro.coding.repetition import RepetitionCode
+from repro.coding.uncoded import UncodedScheme
+from repro.exceptions import CodewordLengthError, ConfigurationError, DecodingFailure
+
+
+class TestUncodedScheme:
+    def test_metadata(self):
+        scheme = UncodedScheme(64)
+        assert scheme.n == scheme.k == 64
+        assert scheme.num_parity_bits == 0
+        assert scheme.code_rate == 1.0
+        assert scheme.communication_time_overhead == 1.0
+        assert scheme.correctable_errors == 0
+        assert scheme.name == "w/o ECC"
+
+    def test_encode_decode_is_identity(self, rng):
+        scheme = UncodedScheme(8)
+        bits = rng.integers(0, 2, size=8, dtype=np.uint8)
+        assert np.array_equal(scheme.encode_block(bits), bits)
+        assert np.array_equal(scheme.decode_block(bits).message_bits, bits)
+
+    def test_stream_round_trip(self, rng):
+        scheme = UncodedScheme(16)
+        bits = rng.integers(0, 2, size=64, dtype=np.uint8)
+        assert np.array_equal(scheme.decode(scheme.encode(bits)), bits)
+
+    def test_never_detects_errors(self, rng):
+        scheme = UncodedScheme(8)
+        result = scheme.decode_block(rng.integers(0, 2, size=8, dtype=np.uint8))
+        assert not result.detected_error
+        assert not result.corrected
+
+    def test_length_validation(self):
+        scheme = UncodedScheme(8)
+        with pytest.raises(CodewordLengthError):
+            scheme.encode_block(np.zeros(7, dtype=np.uint8))
+        with pytest.raises(CodewordLengthError):
+            scheme.encode(np.zeros(9, dtype=np.uint8))
+
+    def test_rejects_non_positive_length(self):
+        with pytest.raises(ConfigurationError):
+            UncodedScheme(0)
+
+
+class TestExtendedHamming:
+    def test_secded_72_64_parameters(self):
+        code = ExtendedHammingCode(64)
+        assert (code.n, code.k) == (72, 64)
+        assert code.minimum_distance == 4
+        assert code.correctable_errors == 1
+        assert code.detectable_errors == 3
+
+    def test_secded_8_4_from_full_hamming(self):
+        code = ExtendedHammingCode(4)
+        assert (code.n, code.k) == (8, 4)
+        assert code.inner_code.name == "H(7,4)"
+
+    def test_every_codeword_has_even_weight(self):
+        code = ExtendedHammingCode(4)
+        for codeword in code.codewords():
+            assert int(codeword.code_bits.sum()) % 2 == 0
+
+    def test_corrects_single_errors(self, rng):
+        code = ExtendedHammingCode(16)
+        message = rng.integers(0, 2, size=16, dtype=np.uint8)
+        codeword = code.encode_block(message)
+        for position in range(code.n):
+            corrupted = codeword.copy()
+            corrupted[position] ^= 1
+            result = code.decode_block(corrupted)
+            assert result.corrected
+            assert np.array_equal(result.message_bits, message)
+
+    def test_detects_double_errors_without_miscorrecting(self, rng):
+        code = ExtendedHammingCode(16)
+        message = rng.integers(0, 2, size=16, dtype=np.uint8)
+        codeword = code.encode_block(message)
+        corrupted = codeword.copy()
+        corrupted[1] ^= 1
+        corrupted[9] ^= 1
+        result = code.decode_block(corrupted)
+        assert result.detected_error
+        assert result.failure
+        assert not result.corrected
+
+    def test_double_error_raises_in_strict_mode(self, rng):
+        code = ExtendedHammingCode(8)
+        codeword = code.encode_block(np.zeros(8, dtype=np.uint8))
+        corrupted = codeword.copy()
+        corrupted[0] ^= 1
+        corrupted[3] ^= 1
+        with pytest.raises(DecodingFailure):
+            code.decode_block(corrupted, strict=True)
+
+    def test_parity_bit_only_error_is_corrected(self):
+        code = ExtendedHammingCode(8)
+        codeword = code.encode_block(np.ones(8, dtype=np.uint8))
+        corrupted = codeword.copy()
+        corrupted[-1] ^= 1
+        result = code.decode_block(corrupted)
+        assert result.corrected
+        assert np.array_equal(result.corrected_codeword, codeword)
+
+
+class TestSingleParityCheck:
+    def test_parameters(self):
+        code = SingleParityCheckCode(8)
+        assert (code.n, code.k) == (9, 8)
+        assert code.minimum_distance == 2
+        assert code.correctable_errors == 0
+
+    def test_codewords_have_even_weight(self):
+        code = SingleParityCheckCode(4)
+        for codeword in code.codewords():
+            assert int(codeword.code_bits.sum()) % 2 == 0
+
+    def test_detects_single_error_but_cannot_correct(self, rng):
+        code = SingleParityCheckCode(8)
+        codeword = code.encode_block(rng.integers(0, 2, size=8, dtype=np.uint8))
+        corrupted = codeword.copy()
+        corrupted[2] ^= 1
+        result = code.decode_block(corrupted)
+        assert result.detected_error
+        assert result.failure
+        assert not result.corrected
+
+    def test_misses_double_errors(self, rng):
+        code = SingleParityCheckCode(8)
+        codeword = code.encode_block(rng.integers(0, 2, size=8, dtype=np.uint8))
+        corrupted = codeword.copy()
+        corrupted[1] ^= 1
+        corrupted[4] ^= 1
+        result = code.decode_block(corrupted)
+        assert not result.detected_error
+
+
+class TestRepetitionCode:
+    def test_parameters(self):
+        code = RepetitionCode(5)
+        assert (code.n, code.k) == (5, 1)
+        assert code.minimum_distance == 5
+        assert code.correctable_errors == 2
+
+    def test_rejects_even_or_small_factors(self):
+        with pytest.raises(ConfigurationError):
+            RepetitionCode(4)
+        with pytest.raises(ConfigurationError):
+            RepetitionCode(1)
+
+    def test_majority_vote_corrects_up_to_t_errors(self):
+        code = RepetitionCode(5)
+        codeword = code.encode_block([1])
+        corrupted = codeword.copy()
+        corrupted[0] ^= 1
+        corrupted[3] ^= 1
+        result = code.decode_block(corrupted)
+        assert result.corrected
+        assert result.message_bits[0] == 1
+
+    def test_majority_vote_fails_beyond_t_errors(self):
+        code = RepetitionCode(3)
+        codeword = code.encode_block([0])
+        corrupted = codeword.copy()
+        corrupted[0] ^= 1
+        corrupted[1] ^= 1
+        result = code.decode_block(corrupted)
+        assert result.message_bits[0] == 1  # majority is now wrong
+
+    def test_stream_round_trip(self, rng):
+        code = RepetitionCode(3)
+        bits = rng.integers(0, 2, size=10, dtype=np.uint8)
+        assert np.array_equal(code.decode(code.encode(bits)), bits)

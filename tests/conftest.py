@@ -1,0 +1,34 @@
+"""Shared pytest fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import DEFAULT_CONFIG, PaperConfig
+from repro.interfaces.synthesis import synthesize_interfaces
+from repro.link.design import OpticalLinkDesigner
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator shared by stochastic tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def paper_config() -> PaperConfig:
+    """The paper's default evaluation configuration."""
+    return DEFAULT_CONFIG
+
+
+@pytest.fixture(scope="session")
+def designer() -> OpticalLinkDesigner:
+    """A link designer built on the paper configuration (session-cached)."""
+    return OpticalLinkDesigner()
+
+
+@pytest.fixture(scope="session")
+def synthesis_report():
+    """The Table I synthesis report (session-cached, it never changes)."""
+    return synthesize_interfaces()

@@ -1,0 +1,191 @@
+"""Tests for topology, MWSR channels, ONIs, arbitration and the network."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coding.hamming import ShortenedHammingCode
+from repro.coding.uncoded import UncodedScheme
+from repro.config import DEFAULT_CONFIG
+from repro.exceptions import ArbitrationError, ConfigurationError
+from repro.interconnect.arbitration import TokenArbiter
+from repro.interconnect.mwsr import MWSRChannel
+from repro.interconnect.network import OpticalNetwork
+from repro.interconnect.oni import OpticalNetworkInterface
+from repro.interconnect.topology import RingTopology
+
+
+class TestRingTopology:
+    def test_from_config_worst_case_distance_matches_the_paper(self):
+        topology = RingTopology.from_config(DEFAULT_CONFIG)
+        assert topology.worst_case_distance(reader=0) == pytest.approx(0.06, rel=1e-6)
+
+    def test_positions_are_uniform(self):
+        topology = RingTopology(num_onis=4, loop_length_m=0.04)
+        assert [topology.position(i) for i in range(4)] == pytest.approx([0.0, 0.01, 0.02, 0.03])
+
+    def test_downstream_distance_wraps_around(self):
+        topology = RingTopology(num_onis=4, loop_length_m=0.04)
+        assert topology.downstream_distance(3, 1) == pytest.approx(0.02)
+        assert topology.downstream_distance(1, 3) == pytest.approx(0.02)
+        assert topology.downstream_distance(2, 2) == 0.0
+
+    def test_onis_crossed(self):
+        topology = RingTopology(num_onis=6, loop_length_m=0.06)
+        assert list(topology.onis_crossed(1, 4)) == [2, 3]
+        assert list(topology.onis_crossed(4, 1)) == [5, 0]
+        assert list(topology.onis_crossed(0, 1)) == []
+
+    def test_explicit_positions_validation(self):
+        with pytest.raises(ConfigurationError):
+            RingTopology(num_onis=3, loop_length_m=0.03, positions_m=(0.0, 0.01))
+        with pytest.raises(ConfigurationError):
+            RingTopology(num_onis=2, loop_length_m=0.03, positions_m=(0.02, 0.01))
+
+    def test_index_validation(self):
+        topology = RingTopology(num_onis=4, loop_length_m=0.04)
+        with pytest.raises(ConfigurationError):
+            topology.position(4)
+
+
+class TestMWSRChannel:
+    def test_writers_exclude_the_reader(self):
+        channel = MWSRChannel(reader=0)
+        assert 0 not in channel.writers
+        assert len(channel.writers) == 11
+
+    def test_worst_case_path_loss_tracks_the_link_budget(self):
+        from repro.link.power_budget import LinkPowerBudget
+
+        channel = MWSRChannel(reader=0)
+        worst = channel.worst_case_path()
+        budget = LinkPowerBudget()
+        assert worst.loss_db == pytest.approx(budget.signal_path_loss_db, abs=0.05)
+
+    def test_closer_writers_have_lower_loss(self):
+        channel = MWSRChannel(reader=0)
+        paths = channel.all_writer_paths()
+        # Writer 11 sits just upstream of reader 0; writer 1 is the farthest.
+        assert paths[11].loss_db < paths[1].loss_db
+
+    def test_the_reader_cannot_write(self):
+        channel = MWSRChannel(reader=5)
+        with pytest.raises(ConfigurationError):
+            channel.writer_path(5)
+
+    def test_bandwidths(self):
+        channel = MWSRChannel(reader=0)
+        assert channel.raw_bandwidth_bits_per_s == pytest.approx(16 * 16 * 10e9)
+        code = ShortenedHammingCode(64)
+        assert channel.effective_bandwidth_bits_per_s(code) == pytest.approx(
+            channel.raw_bandwidth_bits_per_s * 64 / 71
+        )
+
+    def test_crosstalk_ratio_positive_and_small(self):
+        channel = MWSRChannel(reader=0)
+        assert 0.0 < channel.crosstalk_ratio < 0.1
+
+
+class TestOpticalNetworkInterface:
+    def test_default_modes_are_uncoded(self):
+        oni = OpticalNetworkInterface(index=0)
+        assert oni.transmit_mode == "w/o ECC"
+        assert oni.receive_mode == "w/o ECC"
+
+    def test_configure_modes(self):
+        oni = OpticalNetworkInterface(index=0)
+        oni.configure_transmit("H(7,4)")
+        oni.configure_receive("H(7,4)")
+        assert oni.transmit_mode == "H(7,4)"
+        assert oni.interface_power_w() > 0
+
+    def test_unknown_mode_rejected(self):
+        oni = OpticalNetworkInterface(index=0)
+        with pytest.raises(ConfigurationError):
+            oni.configure_transmit("H(1024,1000)")
+
+    def test_area_is_the_sum_of_both_interfaces(self):
+        oni = OpticalNetworkInterface(index=0)
+        assert oni.interface_area_um2 == pytest.approx(2013.0 + 3050.0)
+
+    def test_coded_mode_draws_more_interface_power(self):
+        oni = OpticalNetworkInterface(index=0)
+        uncoded_power = oni.interface_power_w()
+        oni.configure_transmit("H(7,4)")
+        oni.configure_receive("H(7,4)")
+        assert oni.interface_power_w() > uncoded_power
+
+
+class TestTokenArbiter:
+    def test_single_writer_gets_immediate_grants(self):
+        arbiter = TokenArbiter(writers=[1], token_hop_time_s=0.0)
+        assert arbiter.request(1, now_s=0.0, duration_s=1e-6) == pytest.approx(0.0)
+        assert arbiter.request(1, now_s=0.0, duration_s=1e-6) == pytest.approx(1e-6)
+
+    def test_transfers_serialise_on_the_channel(self):
+        arbiter = TokenArbiter(writers=[1, 2, 3], token_hop_time_s=0.0)
+        first = arbiter.request(1, 0.0, 5e-9)
+        second = arbiter.request(2, 0.0, 5e-9)
+        assert first == pytest.approx(0.0)
+        assert second >= first + 5e-9
+
+    def test_token_hops_add_latency(self):
+        arbiter = TokenArbiter(writers=[1, 2, 3], token_hop_time_s=1e-9)
+        arbiter.request(1, 0.0, 0.0)
+        start = arbiter.request(3, 0.0, 0.0)
+        assert start == pytest.approx(2e-9)
+
+    def test_grant_counts(self):
+        arbiter = TokenArbiter(writers=[1, 2])
+        arbiter.request(1, 0.0, 1e-9)
+        arbiter.request(1, 0.0, 1e-9)
+        arbiter.request(2, 0.0, 1e-9)
+        assert arbiter.grant_counts() == {1: 2, 2: 1}
+
+    def test_unknown_writer_rejected(self):
+        arbiter = TokenArbiter(writers=[1, 2])
+        with pytest.raises(ArbitrationError):
+            arbiter.request(9, 0.0, 1e-9)
+
+    def test_idle_advance_cycles_the_token(self):
+        arbiter = TokenArbiter(writers=[1, 2, 3])
+        assert arbiter.current_holder == 1
+        arbiter.idle_advance()
+        assert arbiter.current_holder == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TokenArbiter(writers=[])
+        with pytest.raises(ConfigurationError):
+            TokenArbiter(writers=[1, 1])
+
+
+class TestOpticalNetwork:
+    @pytest.fixture(scope="class")
+    def network(self):
+        return OpticalNetwork()
+
+    def test_one_channel_per_reader(self, network):
+        assert network.num_onis == 12
+        assert set(network.channels) == set(range(12))
+
+    def test_aggregate_bandwidth(self, network):
+        per_channel = 16 * 16 * 10e9
+        assert network.aggregate_raw_bandwidth_bits_per_s == pytest.approx(12 * per_channel)
+
+    def test_total_power_scales_from_channel_power(self, network):
+        code = UncodedScheme(64)
+        breakdown = network.channel_power(code, 1e-11)
+        expected = breakdown.total_power_w * 16 * 16 * 12
+        assert network.total_power_w(code, 1e-11) == pytest.approx(expected)
+
+    def test_power_saving_matches_headline_scale(self, network):
+        saving = network.power_saving_w(UncodedScheme(64), ShortenedHammingCode(64), 1e-11)
+        assert saving == pytest.approx(22.0, rel=0.25)
+
+    def test_interface_area_scales_with_onis(self, network):
+        assert network.total_interface_area_um2 == pytest.approx(12 * (2013.0 + 3050.0))
+
+    def test_unknown_reader_rejected(self, network):
+        with pytest.raises(ConfigurationError):
+            network.channel_for_reader(42)

@@ -1,0 +1,220 @@
+"""Tests for the Pareto utilities, selection policies and the link manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.exceptions import ConfigurationError, InfeasibleDesignError
+from repro.manager.manager import CommunicationRequest, OpticalLinkManager
+from repro.manager.pareto import ParetoPoint, dominates, pareto_front
+from repro.manager.policies import (
+    DeadlineConstrainedPolicy,
+    LaserBudgetPolicy,
+    MinimumEnergyPolicy,
+    MinimumPowerPolicy,
+)
+from repro.manager.runtime import RuntimeSimulation
+
+
+def _point(name, ct, power, ber=1e-11):
+    return ParetoPoint(code_name=name, target_ber=ber, communication_time=ct, channel_power_w=power)
+
+
+class TestParetoUtilities:
+    def test_domination_requires_no_worse_everywhere(self):
+        a = _point("a", 1.0, 0.010)
+        b = _point("b", 1.5, 0.012)
+        assert dominates(a, b)
+        assert not dominates(b, a)
+
+    def test_incomparable_points_do_not_dominate(self):
+        fast_hungry = _point("fast", 1.0, 0.016)
+        slow_lean = _point("lean", 1.75, 0.008)
+        assert not dominates(fast_hungry, slow_lean)
+        assert not dominates(slow_lean, fast_hungry)
+
+    def test_identical_points_do_not_dominate_each_other(self):
+        a = _point("a", 1.0, 0.01)
+        b = _point("b", 1.0, 0.01)
+        assert not dominates(a, b)
+        assert not dominates(b, a)
+
+    def test_front_extraction(self):
+        points = [
+            _point("fast", 1.0, 0.016),
+            _point("mid", 1.11, 0.009),
+            _point("slow", 1.75, 0.008),
+            _point("dominated", 1.8, 0.02),
+        ]
+        front = pareto_front(points)
+        names = [p.code_name for p in front]
+        assert names == ["fast", "mid", "slow"]
+
+    def test_front_of_empty_cloud_is_empty(self):
+        assert pareto_front([]) == []
+
+    def test_paper_schemes_are_all_on_the_front(self):
+        from repro.experiments.figure6 import run_figure6b
+
+        result = run_figure6b(DEFAULT_CONFIG, target_bers=(1e-10,))
+        front_names = {p.code_name for p in result.front_for_ber(1e-10)}
+        assert front_names == {"w/o ECC", "H(71,64)", "H(7,4)"}
+
+
+class TestPolicies:
+    @pytest.fixture(scope="class")
+    def candidates(self):
+        manager = OpticalLinkManager()
+        return manager.candidates_for(1e-11)
+
+    def test_min_power_picks_the_leanest_feasible_candidate(self, candidates):
+        decision = MinimumPowerPolicy().select(candidates)
+        expected = min(c.total_power_w for c in candidates if c.feasible)
+        assert decision.channel_power_w == pytest.approx(expected)
+
+    def test_min_energy_picks_h7164_at_1e11(self, candidates):
+        decision = MinimumEnergyPolicy().select(candidates)
+        assert decision.code_name == "H(71,64)"
+
+    def test_deadline_policy_respects_the_ct_bound(self, candidates):
+        decision = DeadlineConstrainedPolicy(max_communication_time=1.2).select(candidates)
+        assert decision.communication_time <= 1.2
+
+    def test_tight_deadline_forces_uncoded(self, candidates):
+        decision = DeadlineConstrainedPolicy(max_communication_time=1.0).select(candidates)
+        assert decision.code_name == "w/o ECC"
+
+    def test_impossible_deadline_raises(self, candidates):
+        with pytest.raises(InfeasibleDesignError):
+            DeadlineConstrainedPolicy(max_communication_time=0.5).select(candidates)
+
+    def test_laser_budget_policy_prefers_speed_within_budget(self, candidates):
+        generous = LaserBudgetPolicy(max_laser_power_w=1.0).select(candidates)
+        assert generous.code_name == "w/o ECC"
+        tight = LaserBudgetPolicy(max_laser_power_w=7.5e-3).select(candidates)
+        assert tight.code_name in {"H(71,64)", "H(7,4)"}
+
+    def test_exhausted_laser_budget_raises(self, candidates):
+        with pytest.raises(InfeasibleDesignError):
+            LaserBudgetPolicy(max_laser_power_w=1e-3).select(candidates)
+
+    def test_decision_records_policy_and_reason(self, candidates):
+        decision = MinimumPowerPolicy().select(candidates)
+        assert decision.policy_name == "min-power"
+        assert "mW" in decision.reason
+
+
+class TestOpticalLinkManager:
+    def test_configure_returns_a_feasible_configuration(self):
+        manager = OpticalLinkManager()
+        request = CommunicationRequest(source=3, destination=0, target_ber=1e-11)
+        configuration = manager.configure(request)
+        assert configuration.code_name in {"w/o ECC", "H(71,64)", "H(7,4)"}
+        assert configuration.laser_output_power_w <= DEFAULT_CONFIG.laser_max_output_power_w
+
+    def test_default_policy_prefers_coded_low_power(self):
+        manager = OpticalLinkManager()
+        configuration = manager.configure(
+            CommunicationRequest(source=1, destination=0, target_ber=1e-11)
+        )
+        assert configuration.code_name == "H(7,4)"
+
+    def test_request_level_policy_override(self):
+        manager = OpticalLinkManager()
+        configuration = manager.configure(
+            CommunicationRequest(
+                source=1,
+                destination=0,
+                target_ber=1e-11,
+                policy=DeadlineConstrainedPolicy(max_communication_time=1.0),
+            )
+        )
+        assert configuration.code_name == "w/o ECC"
+
+    def test_max_communication_time_filter(self):
+        manager = OpticalLinkManager()
+        configuration = manager.configure(
+            CommunicationRequest(
+                source=1, destination=0, target_ber=1e-11, max_communication_time=1.2
+            )
+        )
+        assert configuration.communication_time <= 1.2
+
+    def test_active_configurations_and_release(self):
+        manager = OpticalLinkManager()
+        manager.configure(CommunicationRequest(source=1, destination=0, target_ber=1e-9))
+        assert len(manager.active_configurations()) == 1
+        manager.release(1, 0)
+        assert manager.active_configurations() == []
+
+    def test_candidate_cache_is_reused(self):
+        manager = OpticalLinkManager()
+        first = manager.candidates_for(1e-9)
+        second = manager.candidates_for(1e-9)
+        assert first is second
+
+    def test_invalid_endpoints_rejected(self):
+        manager = OpticalLinkManager()
+        with pytest.raises(ConfigurationError):
+            manager.configure(CommunicationRequest(source=0, destination=99, target_ber=1e-9))
+
+    def test_request_validation(self):
+        with pytest.raises(ConfigurationError):
+            CommunicationRequest(source=1, destination=1, target_ber=1e-9)
+        with pytest.raises(ConfigurationError):
+            CommunicationRequest(source=1, destination=0, target_ber=0.9)
+        with pytest.raises(ConfigurationError):
+            CommunicationRequest(source=1, destination=0, target_ber=1e-9, payload_bits=0)
+
+
+class TestRuntimeSimulation:
+    def test_transfer_durations_scale_with_ct(self):
+        manager = OpticalLinkManager()
+        simulation = RuntimeSimulation(manager=manager)
+        uncoded_config = manager.configure(
+            CommunicationRequest(
+                source=1,
+                destination=0,
+                target_ber=1e-11,
+                policy=DeadlineConstrainedPolicy(max_communication_time=1.0),
+            )
+        )
+        coded_config = manager.configure(
+            CommunicationRequest(source=2, destination=0, target_ber=1e-11)
+        )
+        payload = 4096
+        assert simulation.transfer_duration_s(coded_config, payload) > simulation.transfer_duration_s(
+            uncoded_config, payload
+        )
+
+    def test_run_records_energy_and_deadlines(self):
+        manager = OpticalLinkManager()
+        simulation = RuntimeSimulation(manager=manager)
+        workload = [
+            (CommunicationRequest(source=1, destination=0, target_ber=1e-11, payload_bits=2048), 1e-6),
+            (CommunicationRequest(source=2, destination=0, target_ber=1e-11, payload_bits=2048), 1e-12),
+        ]
+        outcomes = simulation.run(workload)
+        assert len(outcomes) == 2
+        assert RuntimeSimulation.total_energy_j(outcomes) > 0
+        # The second deadline (1 ps) is impossible to meet.
+        assert RuntimeSimulation.deadline_miss_rate(outcomes) == pytest.approx(0.5)
+
+    def test_unsatisfiable_requests_are_rejected_not_fatal(self):
+        manager = OpticalLinkManager()
+        simulation = RuntimeSimulation(manager=manager)
+        workload = [
+            (
+                CommunicationRequest(
+                    source=1,
+                    destination=0,
+                    target_ber=1e-11,
+                    policy=LaserBudgetPolicy(max_laser_power_w=1e-4),
+                ),
+                None,
+            )
+        ]
+        outcomes = simulation.run(workload)
+        assert outcomes[0].rejected
+        assert not outcomes[0].met_deadline

@@ -1,0 +1,134 @@
+"""Tests for the WDM grid, MMI coupler and crosstalk models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.exceptions import ConfigurationError
+from repro.photonics.coupler import MMICoupler
+from repro.photonics.crosstalk import CrosstalkModel
+from repro.photonics.microring import MicroringResonator
+from repro.photonics.wdm import WDMGrid
+
+
+class TestWDMGrid:
+    def test_from_config(self):
+        grid = WDMGrid.from_config(DEFAULT_CONFIG)
+        assert grid.num_channels == 16
+        assert grid.channel_spacing_m == pytest.approx(0.8e-9)
+
+    def test_grid_is_centred(self):
+        grid = WDMGrid(num_channels=5, center_wavelength_m=1550e-9, channel_spacing_m=1e-9)
+        wavelengths = grid.wavelengths_m
+        assert wavelengths[2] == pytest.approx(1550e-9)
+        assert len(wavelengths) == 5
+
+    def test_uniform_spacing(self):
+        grid = WDMGrid(num_channels=8)
+        diffs = np.diff(grid.as_array())
+        assert np.allclose(diffs, grid.channel_spacing_m)
+
+    def test_detuning_sign_convention(self):
+        grid = WDMGrid(num_channels=4)
+        assert grid.detuning_m(3, 0) > 0
+        assert grid.detuning_m(0, 3) < 0
+        assert grid.detuning_m(2, 2) == 0.0
+
+    def test_neighbours(self):
+        grid = WDMGrid(num_channels=4)
+        assert grid.neighbours(0) == (1,)
+        assert grid.neighbours(3) == (2,)
+        assert grid.neighbours(2) == (1, 3)
+
+    def test_channel_spacing_in_frequency_is_about_100ghz(self):
+        grid = WDMGrid(center_wavelength_m=1550e-9, channel_spacing_m=0.8e-9)
+        assert grid.channel_spacing_hz == pytest.approx(100e9, rel=0.05)
+
+    def test_index_validation(self):
+        grid = WDMGrid(num_channels=4)
+        with pytest.raises(ConfigurationError):
+            grid.wavelength(4)
+        with pytest.raises(ConfigurationError):
+            grid.wavelength(-1)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ConfigurationError):
+            WDMGrid(num_channels=0)
+        with pytest.raises(ConfigurationError):
+            WDMGrid(channel_spacing_m=0.0)
+
+
+class TestMMICoupler:
+    def test_from_config(self):
+        coupler = MMICoupler.from_config(DEFAULT_CONFIG)
+        assert coupler.num_ports == 16
+        assert coupler.insertion_loss_db == pytest.approx(1.2)
+
+    def test_nominal_transmission(self):
+        coupler = MMICoupler(insertion_loss_db=1.2)
+        assert coupler.transmission == pytest.approx(10 ** (-0.12))
+
+    def test_imbalance_spreads_across_ports(self):
+        coupler = MMICoupler(insertion_loss_db=1.0, imbalance_db=0.5, num_ports=4)
+        transmissions = coupler.all_port_transmissions()
+        assert transmissions[0] == pytest.approx(10 ** (-0.1))
+        assert transmissions[-1] == pytest.approx(10 ** (-0.15))
+        assert np.all(np.diff(transmissions) < 0)
+
+    def test_single_port_coupler_has_no_imbalance(self):
+        coupler = MMICoupler(insertion_loss_db=1.0, imbalance_db=1.0, num_ports=1)
+        assert coupler.port_transmission(0) == pytest.approx(10 ** (-0.1))
+
+    def test_port_validation(self):
+        coupler = MMICoupler(num_ports=4)
+        with pytest.raises(ConfigurationError):
+            coupler.port_transmission(4)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ConfigurationError):
+            MMICoupler(insertion_loss_db=-1.0)
+        with pytest.raises(ConfigurationError):
+            MMICoupler(num_ports=0)
+
+
+class TestCrosstalkModel:
+    def test_from_config_worst_case_is_a_few_percent(self):
+        model = CrosstalkModel.from_config(DEFAULT_CONFIG)
+        ratio = model.worst_case_ratio()
+        assert 0.005 < ratio < 0.10
+
+    def test_central_channels_suffer_the_most(self):
+        model = CrosstalkModel.from_config(DEFAULT_CONFIG)
+        ratios = model.ratios()
+        assert ratios[len(ratios) // 2] > ratios[0]
+        assert ratios[len(ratios) // 2] > ratios[-1]
+
+    def test_single_channel_has_no_crosstalk(self):
+        grid = WDMGrid(num_channels=1)
+        model = CrosstalkModel(grid=grid, drop_ring=MicroringResonator())
+        assert model.crosstalk_ratio(0) == 0.0
+
+    def test_wider_spacing_reduces_crosstalk(self):
+        ring = MicroringResonator()
+        narrow = CrosstalkModel(grid=WDMGrid(num_channels=8, channel_spacing_m=0.4e-9), drop_ring=ring)
+        wide = CrosstalkModel(grid=WDMGrid(num_channels=8, channel_spacing_m=1.6e-9), drop_ring=ring)
+        assert wide.worst_case_ratio() < narrow.worst_case_ratio()
+
+    def test_higher_q_reduces_crosstalk(self):
+        grid = WDMGrid(num_channels=8)
+        low_q = CrosstalkModel(grid=grid, drop_ring=MicroringResonator(quality_factor=4000))
+        high_q = CrosstalkModel(grid=grid, drop_ring=MicroringResonator(quality_factor=20000))
+        assert high_q.worst_case_ratio() < low_q.worst_case_ratio()
+
+    def test_crosstalk_power_scales_with_received_power(self):
+        model = CrosstalkModel.from_config(DEFAULT_CONFIG)
+        low = model.crosstalk_power_w(0, 10e-6)
+        high = model.crosstalk_power_w(0, 20e-6)
+        assert high == pytest.approx(2 * low)
+
+    def test_negative_power_rejected(self):
+        model = CrosstalkModel.from_config(DEFAULT_CONFIG)
+        with pytest.raises(ConfigurationError):
+            model.crosstalk_power_w(0, -1e-6)

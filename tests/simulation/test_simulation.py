@@ -1,0 +1,218 @@
+"""Tests for fault injection, the link simulator, packets, stats and transfers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coding.hamming import HammingCode
+from repro.coding.uncoded import UncodedScheme
+from repro.exceptions import ConfigurationError
+from repro.interconnect.mwsr import MWSRChannel
+from repro.link.design import OpticalLinkDesigner
+from repro.simulation.faults import BurstErrorModel, IndependentErrorModel
+from repro.simulation.linksim import OpticalLinkSimulator
+from repro.simulation.packets import Message, Packet
+from repro.simulation.stats import StreamingStatistics
+from repro.simulation.transfersim import MessageTransferSimulator
+
+
+class TestIndependentErrorModel:
+    def test_zero_probability_is_transparent(self, rng):
+        model = IndependentErrorModel(0.0, rng=rng)
+        bits = rng.integers(0, 2, size=500, dtype=np.uint8)
+        assert np.array_equal(model.apply(bits), bits)
+
+    def test_error_rate_matches_probability(self, rng):
+        model = IndependentErrorModel(0.05, rng=rng)
+        pattern = model.error_pattern(100_000)
+        assert pattern.mean() == pytest.approx(0.05, rel=0.1)
+
+    def test_expected_ber(self):
+        assert IndependentErrorModel(0.01).expected_ber == pytest.approx(0.01)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            IndependentErrorModel(1.5)
+        with pytest.raises(ConfigurationError):
+            IndependentErrorModel(0.1).error_pattern(-1)
+
+
+class TestBurstErrorModel:
+    def test_long_run_average_matches_expected_ber(self, rng):
+        model = BurstErrorModel(
+            good_error_probability=1e-4,
+            bad_error_probability=0.3,
+            good_to_bad_probability=0.01,
+            bad_to_good_probability=0.2,
+            rng=rng,
+        )
+        pattern = model.error_pattern(200_000)
+        assert pattern.mean() == pytest.approx(model.expected_ber, rel=0.2)
+
+    def test_errors_are_clustered(self, rng):
+        model = BurstErrorModel(
+            good_error_probability=0.0,
+            bad_error_probability=0.5,
+            good_to_bad_probability=0.002,
+            bad_to_good_probability=0.1,
+            rng=rng,
+        )
+        pattern = model.error_pattern(50_000)
+        error_positions = np.nonzero(pattern)[0]
+        assert error_positions.size > 10
+        gaps = np.diff(error_positions)
+        # Clustered errors: many consecutive errors are only a few bits apart.
+        assert np.median(gaps) < 20
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BurstErrorModel(bad_error_probability=1.5)
+
+
+class TestOpticalLinkSimulator:
+    def test_measured_raw_ber_tracks_analytic(self, rng):
+        designer = OpticalLinkDesigner()
+        code = HammingCode(3)
+        point = designer.design_point(code, 1e-3)
+        simulator = OpticalLinkSimulator(code, point, rng=rng)
+        result = simulator.run(num_blocks=6000)
+        assert result.measured_raw_ber == pytest.approx(point.raw_channel_ber, rel=0.2)
+
+    def test_coding_improves_the_post_decoding_ber(self, rng):
+        designer = OpticalLinkDesigner()
+        code = HammingCode(3)
+        point = designer.design_point(code, 1e-3)
+        simulator = OpticalLinkSimulator(code, point, rng=rng)
+        result = simulator.run(num_blocks=6000)
+        assert result.measured_post_decoding_ber < result.measured_raw_ber
+
+    def test_uncoded_link_at_target_has_matching_raw_and_post_ber(self, rng):
+        designer = OpticalLinkDesigner()
+        code = UncodedScheme(64)
+        point = designer.design_point(code, 1e-2)
+        simulator = OpticalLinkSimulator(code, point, rng=rng)
+        result = simulator.run(num_blocks=1500)
+        assert result.measured_post_decoding_ber == pytest.approx(result.measured_raw_ber)
+        assert result.measured_raw_ber == pytest.approx(1e-2, rel=0.3)
+
+    def test_result_bookkeeping(self, rng):
+        designer = OpticalLinkDesigner()
+        code = HammingCode(3)
+        point = designer.design_point(code, 1e-4)
+        result = OpticalLinkSimulator(code, point, rng=rng).run(num_blocks=100)
+        assert result.blocks_simulated == 100
+        assert result.bits_simulated == 400
+        assert 0.0 <= result.block_error_rate <= 1.0
+
+    def test_validation(self, rng):
+        designer = OpticalLinkDesigner()
+        code = HammingCode(3)
+        point = designer.design_point(code, 1e-4)
+        simulator = OpticalLinkSimulator(code, point, rng=rng)
+        with pytest.raises(ConfigurationError):
+            simulator.run(num_blocks=0)
+
+
+class TestPacketsAndMessages:
+    def test_packet_validation(self):
+        with pytest.raises(ConfigurationError):
+            Packet(source=1, destination=1, payload_bits=np.ones(8, dtype=np.uint8))
+        with pytest.raises(ConfigurationError):
+            Packet(source=1, destination=2, payload_bits=np.zeros(0, dtype=np.uint8))
+
+    def test_message_from_bits_pads_to_packet_size(self, rng):
+        bits = rng.integers(0, 2, size=100, dtype=np.uint8)
+        message = Message.from_bits(1, 0, bits, packet_size_bits=64)
+        assert len(message.packets) == 2
+        assert message.size_bits == 128
+        assert np.array_equal(message.payload()[:100], bits)
+
+    def test_payload_respects_sequence_numbers(self, rng):
+        bits = rng.integers(0, 2, size=128, dtype=np.uint8)
+        message = Message.from_bits(1, 0, bits, packet_size_bits=64)
+        message.packets.reverse()
+        assert np.array_equal(message.payload(), bits)
+
+    def test_mismatched_packet_endpoints_rejected(self):
+        message = Message(source=1, destination=0)
+        with pytest.raises(ConfigurationError):
+            message.append(Packet(source=2, destination=0, payload_bits=np.ones(8, dtype=np.uint8)))
+
+
+class TestStreamingStatistics:
+    def test_mean_and_variance_match_numpy(self, rng):
+        samples = rng.normal(3.0, 2.0, size=500)
+        stats = StreamingStatistics()
+        stats.extend(samples)
+        assert stats.mean == pytest.approx(samples.mean())
+        assert stats.variance == pytest.approx(samples.var(ddof=1), rel=1e-9)
+        assert stats.minimum == pytest.approx(samples.min())
+        assert stats.maximum == pytest.approx(samples.max())
+
+    def test_confidence_interval_contains_the_mean(self, rng):
+        stats = StreamingStatistics()
+        stats.extend(rng.normal(0.0, 1.0, size=200))
+        low, high = stats.confidence_interval()
+        assert low <= stats.mean <= high
+
+    def test_empty_statistics_are_safe(self):
+        stats = StreamingStatistics()
+        assert stats.variance == 0.0
+        assert stats.standard_error == 0.0
+        assert stats.as_dict()["count"] == 0.0
+
+
+class TestMessageTransferSimulator:
+    @pytest.fixture
+    def simulator(self, rng):
+        channel = MWSRChannel(reader=0)
+        return MessageTransferSimulator(
+            channel=channel,
+            code=HammingCode(3),
+            raw_ber=1e-3,
+            channel_power_w=0.13,
+            rng=rng,
+        )
+
+    def test_transfer_latency_includes_coding_overhead(self, simulator, rng):
+        message = Message.from_bits(3, 0, rng.integers(0, 2, size=4096, dtype=np.uint8))
+        record = simulator.transfer(message)
+        # 4096 bits * 7/4 coded, over 16 lambda at 10 Gb/s.
+        expected = 4096 * 1.75 / (16 * 10e9)
+        assert record.serialization_time_s == pytest.approx(expected)
+        assert record.coded_bits == 4096 * 7 // 4
+
+    def test_contending_transfers_queue_up(self, simulator, rng):
+        first = Message.from_bits(3, 0, rng.integers(0, 2, size=8192, dtype=np.uint8))
+        second = Message.from_bits(5, 0, rng.integers(0, 2, size=8192, dtype=np.uint8))
+        records = simulator.run([(first, 0.0), (second, 0.0)])
+        assert records[1].start_time_s >= records[0].completion_time_s
+
+    def test_energy_scales_with_duration(self, simulator, rng):
+        small = Message.from_bits(3, 0, rng.integers(0, 2, size=1024, dtype=np.uint8))
+        large = Message.from_bits(3, 0, rng.integers(0, 2, size=8192, dtype=np.uint8))
+        small_record = simulator.transfer(small)
+        large_record = simulator.transfer(large)
+        assert large_record.channel_energy_j > small_record.channel_energy_j
+
+    def test_low_raw_ber_transfers_are_mostly_error_free(self, rng):
+        channel = MWSRChannel(reader=0)
+        simulator = MessageTransferSimulator(
+            channel=channel, code=HammingCode(3), raw_ber=1e-6, rng=rng
+        )
+        message = Message.from_bits(2, 0, rng.integers(0, 2, size=4096, dtype=np.uint8))
+        record = simulator.transfer(message)
+        assert record.error_free
+
+    def test_wrong_destination_rejected(self, simulator, rng):
+        message = Message.from_bits(3, 4, rng.integers(0, 2, size=64, dtype=np.uint8))
+        with pytest.raises(ConfigurationError):
+            simulator.transfer(message)
+
+    def test_statistics_accumulate(self, simulator, rng):
+        for _ in range(3):
+            message = Message.from_bits(3, 0, rng.integers(0, 2, size=512, dtype=np.uint8))
+            simulator.transfer(message)
+        assert simulator.latency_stats.count == 3
+        assert simulator.occupancy_stats.total > 0

@@ -1,0 +1,99 @@
+"""Tests for the paper configuration object."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG, PaperConfig
+from repro.exceptions import ConfigurationError
+
+
+class TestDefaultsMatchThePaper:
+    def test_geometry(self):
+        assert DEFAULT_CONFIG.num_onis == 12
+        assert DEFAULT_CONFIG.num_wavelengths == 16
+        assert DEFAULT_CONFIG.num_waveguides_per_channel == 16
+
+    def test_waveguide(self):
+        assert DEFAULT_CONFIG.waveguide_length_m == pytest.approx(0.06)
+        assert DEFAULT_CONFIG.waveguide_loss_db_per_cm == pytest.approx(0.274)
+        assert DEFAULT_CONFIG.waveguide_loss_db == pytest.approx(0.274 * 6.0)
+
+    def test_modulator(self):
+        assert DEFAULT_CONFIG.extinction_ratio_db == pytest.approx(6.9)
+        assert DEFAULT_CONFIG.modulator_power_w == pytest.approx(1.36e-3)
+
+    def test_photodetector(self):
+        assert DEFAULT_CONFIG.photodetector_responsivity_a_per_w == pytest.approx(1.0)
+        assert DEFAULT_CONFIG.dark_current_a == pytest.approx(4e-6)
+
+    def test_laser_rating(self):
+        assert DEFAULT_CONFIG.laser_max_output_power_w == pytest.approx(700e-6)
+        assert DEFAULT_CONFIG.chip_activity == pytest.approx(0.25)
+
+    def test_interface_clocks(self):
+        assert DEFAULT_CONFIG.ip_bus_width_bits == 64
+        assert DEFAULT_CONFIG.ip_clock_hz == pytest.approx(1e9)
+        assert DEFAULT_CONFIG.modulation_rate_hz == pytest.approx(10e9)
+
+
+class TestDerivedQuantities:
+    def test_writers_per_channel(self):
+        assert DEFAULT_CONFIG.num_writers == 11
+        assert DEFAULT_CONFIG.num_intermediate_writers == 10
+
+    def test_bandwidths(self):
+        assert DEFAULT_CONFIG.ip_bandwidth_bits_per_s == pytest.approx(64e9)
+        assert DEFAULT_CONFIG.channel_raw_bandwidth_bits_per_s == pytest.approx(160e9)
+
+    def test_serialization_ratio(self):
+        assert DEFAULT_CONFIG.serialization_ratio == pytest.approx(10.0)
+
+    def test_wavelength_grid_size_and_centre(self):
+        grid = DEFAULT_CONFIG.wavelengths_m
+        assert len(grid) == DEFAULT_CONFIG.num_wavelengths
+        centre = 0.5 * (grid[0] + grid[-1])
+        assert centre == pytest.approx(DEFAULT_CONFIG.center_wavelength_m)
+
+    def test_wavelength_grid_spacing(self):
+        grid = DEFAULT_CONFIG.wavelengths_m
+        spacings = {round(b - a, 15) for a, b in zip(grid, grid[1:])}
+        assert len(spacings) == 1
+        assert spacings.pop() == pytest.approx(DEFAULT_CONFIG.channel_spacing_m)
+
+
+class TestValidationAndOverrides:
+    def test_with_overrides_returns_new_instance(self):
+        modified = DEFAULT_CONFIG.with_overrides(num_onis=16)
+        assert modified.num_onis == 16
+        assert DEFAULT_CONFIG.num_onis == 12
+
+    def test_config_is_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_CONFIG.num_onis = 20  # type: ignore[misc]
+
+    def test_rejects_too_few_onis(self):
+        with pytest.raises(ConfigurationError):
+            PaperConfig(num_onis=1)
+
+    def test_rejects_zero_wavelengths(self):
+        with pytest.raises(ConfigurationError):
+            PaperConfig(num_wavelengths=0)
+
+    def test_rejects_bad_activity(self):
+        with pytest.raises(ConfigurationError):
+            PaperConfig(chip_activity=0.0)
+        with pytest.raises(ConfigurationError):
+            PaperConfig(chip_activity=1.5)
+
+    def test_rejects_non_positive_extinction_ratio(self):
+        with pytest.raises(ConfigurationError):
+            PaperConfig(extinction_ratio_db=0.0)
+
+    def test_rejects_non_positive_laser_power(self):
+        with pytest.raises(ConfigurationError):
+            PaperConfig(laser_max_output_power_w=0.0)
+
+    def test_rejects_non_positive_bus_width(self):
+        with pytest.raises(ConfigurationError):
+            PaperConfig(ip_bus_width_bits=0)

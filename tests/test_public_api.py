@@ -1,0 +1,51 @@
+"""Tests for the top-level public API surface."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+
+class TestPublicExports:
+    def test_version_is_exposed(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"{name} listed in __all__ but missing"
+
+    def test_paper_code_set_contents(self):
+        codes = repro.paper_code_set()
+        names = [code.name for code in codes]
+        assert names == ["w/o ECC", "H(71,64)", "H(7,4)"]
+
+    def test_designer_is_constructible_from_top_level(self):
+        designer = repro.OpticalLinkDesigner()
+        point = designer.design_point(repro.HammingCode(3), 1e-9)
+        assert point.feasible
+
+    def test_exceptions_share_base_class(self):
+        assert issubclass(repro.ConfigurationError, repro.ReproError)
+        assert issubclass(repro.InfeasibleDesignError, repro.ReproError)
+        assert issubclass(repro.LaserPowerExceededError, repro.ReproError)
+
+    def test_get_code_from_top_level(self):
+        code = repro.get_code("H(7,4)")
+        assert (code.n, code.k) == (7, 4)
+
+    def test_default_config_exposed(self):
+        assert repro.DEFAULT_CONFIG.num_onis == 12
+
+
+class TestExceptionBehaviour:
+    def test_laser_power_exceeded_carries_values(self):
+        error = repro.LaserPowerExceededError(required_w=800e-6, maximum_w=700e-6)
+        assert error.required_w == pytest.approx(800e-6)
+        assert error.maximum_w == pytest.approx(700e-6)
+        assert "700" in str(error)
+
+    def test_laser_power_exceeded_custom_message(self):
+        error = repro.LaserPowerExceededError(1e-3, 7e-4, message="custom")
+        assert str(error) == "custom"

@@ -1,0 +1,102 @@
+"""Tests for unit conversions and numeric helpers."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import units
+
+
+class TestDecibelConversions:
+    def test_db_to_linear_of_zero_is_one(self):
+        assert units.db_to_linear(0.0) == pytest.approx(1.0)
+
+    def test_db_to_linear_of_ten_is_ten(self):
+        assert units.db_to_linear(10.0) == pytest.approx(10.0)
+
+    def test_db_to_linear_of_three_is_about_two(self):
+        assert units.db_to_linear(3.0) == pytest.approx(2.0, rel=1e-2)
+
+    def test_linear_to_db_round_trip(self):
+        for value in (0.01, 0.5, 1.0, 4.898, 123.4):
+            assert units.db_to_linear(units.linear_to_db(value)) == pytest.approx(value)
+
+    def test_linear_to_db_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            units.linear_to_db(0.0)
+        with pytest.raises(ValueError):
+            units.linear_to_db(-1.0)
+
+    def test_linear_to_db_array_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            units.linear_to_db(np.array([1.0, 0.0]))
+
+    def test_db_loss_to_transmission_three_db_is_half(self):
+        assert units.db_loss_to_transmission(3.0103) == pytest.approx(0.5, rel=1e-4)
+
+    def test_db_loss_rejects_negative(self):
+        with pytest.raises(ValueError):
+            units.db_loss_to_transmission(-0.1)
+
+    def test_transmission_to_db_loss_round_trip(self):
+        for loss in (0.0, 0.5, 3.0, 8.7):
+            transmission = units.db_loss_to_transmission(loss)
+            assert units.transmission_to_db_loss(transmission) == pytest.approx(loss, abs=1e-9)
+
+    def test_transmission_to_db_loss_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            units.transmission_to_db_loss(0.0)
+        with pytest.raises(ValueError):
+            units.transmission_to_db_loss(1.5)
+
+
+class TestUnitScaling:
+    def test_to_mw(self):
+        assert units.to_mw(0.0143) == pytest.approx(14.3)
+
+    def test_to_uw(self):
+        assert units.to_uw(700e-6) == pytest.approx(700.0)
+
+    def test_to_pj(self):
+        assert units.to_pj(3.92e-12) == pytest.approx(3.92)
+
+    def test_prefixes_are_consistent(self):
+        assert units.milli * units.kilo == pytest.approx(1.0)
+        assert units.micro * units.mega == pytest.approx(1.0)
+        assert units.nano * units.giga == pytest.approx(1.0)
+
+
+class TestQFunction:
+    def test_q_function_at_zero_is_half(self):
+        assert units.q_function(0.0) == pytest.approx(0.5)
+
+    def test_q_function_decreases(self):
+        assert units.q_function(1.0) > units.q_function(2.0) > units.q_function(3.0)
+
+    def test_inverse_q_round_trip(self):
+        for p in (0.4, 0.1, 1e-3, 1e-6):
+            assert units.q_function(units.inverse_q_function(p)) == pytest.approx(p, rel=1e-6)
+
+    def test_inverse_q_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            units.inverse_q_function(0.0)
+        with pytest.raises(ValueError):
+            units.inverse_q_function(1.0)
+
+
+class TestMonotonicHelper:
+    def test_increasing_sequence(self):
+        assert units.ensure_monotonic([1.0, 2.0, 3.0])
+
+    def test_decreasing_sequence(self):
+        assert units.ensure_monotonic([3.0, 2.0, 1.0], increasing=False)
+
+    def test_non_monotonic_sequence(self):
+        assert not units.ensure_monotonic([1.0, 3.0, 2.0])
+
+    def test_short_sequences_are_monotonic(self):
+        assert units.ensure_monotonic([])
+        assert units.ensure_monotonic([5.0])

@@ -1,0 +1,160 @@
+"""Tests for the traffic generators, task sets and trace record/replay."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.traffic.generators import (
+    BurstyTrafficGenerator,
+    HotspotTrafficGenerator,
+    TrafficRequest,
+    UniformTrafficGenerator,
+)
+from repro.traffic.tasks import PeriodicTask, TaskSet
+from repro.traffic.trace import TraceRecorder, replay_trace
+
+
+class TestTrafficRequest:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TrafficRequest(0.0, 1, 1, 64, 1e-9)
+        with pytest.raises(ConfigurationError):
+            TrafficRequest(0.0, 1, 0, 0, 1e-9)
+        with pytest.raises(ConfigurationError):
+            TrafficRequest(0.0, 1, 0, 64, 0.9)
+
+
+class TestGenerators:
+    def test_uniform_generator_produces_the_requested_count(self, rng):
+        generator = UniformTrafficGenerator(12, rng=rng)
+        requests = list(generator.generate(50))
+        assert len(requests) == 50
+
+    def test_arrival_times_are_increasing(self, rng):
+        generator = UniformTrafficGenerator(12, rng=rng)
+        times = [r.arrival_time_s for r in generator.generate(100)]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_uniform_destinations_never_equal_sources(self, rng):
+        generator = UniformTrafficGenerator(12, rng=rng)
+        assert all(r.source != r.destination for r in generator.generate(200))
+
+    def test_mean_arrival_rate_is_respected(self, rng):
+        generator = UniformTrafficGenerator(12, mean_request_rate_hz=1e6, rng=rng)
+        requests = list(generator.generate(2000))
+        duration = requests[-1].arrival_time_s - requests[0].arrival_time_s
+        assert 2000 / duration == pytest.approx(1e6, rel=0.15)
+
+    def test_hotspot_generator_concentrates_traffic(self, rng):
+        generator = HotspotTrafficGenerator(12, hotspot=0, hotspot_fraction=0.7, rng=rng)
+        requests = list(generator.generate(1000))
+        to_hotspot = sum(1 for r in requests if r.destination == 0)
+        assert to_hotspot / len(requests) > 0.5
+
+    def test_bursty_generator_produces_variable_payloads_with_deadlines(self, rng):
+        generator = BurstyTrafficGenerator(12, frame_bits=4096, rng=rng)
+        requests = list(generator.generate(200))
+        sizes = {r.payload_bits for r in requests}
+        assert len(sizes) > 20
+        assert all(r.deadline_s is not None for r in requests)
+
+    def test_generator_validation(self):
+        with pytest.raises(ConfigurationError):
+            UniformTrafficGenerator(1)
+        with pytest.raises(ConfigurationError):
+            UniformTrafficGenerator(12, mean_request_rate_hz=0.0)
+        with pytest.raises(ConfigurationError):
+            HotspotTrafficGenerator(12, hotspot=20)
+        with pytest.raises(ConfigurationError):
+            BurstyTrafficGenerator(12, burstiness=0.5)
+        generator = UniformTrafficGenerator(12)
+        with pytest.raises(ConfigurationError):
+            list(generator.generate(-1))
+
+
+class TestPeriodicTasks:
+    def test_release_times(self):
+        task = PeriodicTask("t", 1, 0, period_s=1e-3, payload_bits=64, relative_deadline_s=1e-4)
+        releases = task.releases_until(3.5e-3)
+        assert releases == pytest.approx([0.0, 1e-3, 2e-3, 3e-3])
+
+    def test_utilisation(self):
+        # 1000 bits every millisecond on a 1 Gb/s channel: 1 us busy per 1 ms.
+        task = PeriodicTask("t", 1, 0, period_s=1e-3, payload_bits=1000, relative_deadline_s=1e-4)
+        assert task.utilisation(1e9) == pytest.approx(1e-3)
+
+    def test_task_validation(self):
+        with pytest.raises(ConfigurationError):
+            PeriodicTask("t", 1, 0, period_s=0.0, payload_bits=64, relative_deadline_s=1e-4)
+        with pytest.raises(ConfigurationError):
+            PeriodicTask("t", 1, 0, period_s=1e-3, payload_bits=64, relative_deadline_s=2e-3)
+        with pytest.raises(ConfigurationError):
+            PeriodicTask("t", 1, 1, period_s=1e-3, payload_bits=64, relative_deadline_s=1e-4)
+
+    def test_task_set_utilisation_and_schedulability(self):
+        tasks = TaskSet(
+            tasks=[
+                PeriodicTask("a", 1, 0, period_s=1e-6, payload_bits=40_000, relative_deadline_s=1e-6),
+                PeriodicTask("b", 2, 0, period_s=1e-6, payload_bits=40_000, relative_deadline_s=1e-6),
+            ]
+        )
+        rate = 160e9
+        assert tasks.total_utilisation(rate) == pytest.approx(0.5)
+        assert tasks.is_schedulable(rate, communication_time=1.75)
+        assert not tasks.is_schedulable(rate, communication_time=2.5)
+
+    def test_task_set_expands_requests_in_time_order(self):
+        tasks = TaskSet(
+            tasks=[
+                PeriodicTask("a", 1, 0, period_s=2e-3, payload_bits=64, relative_deadline_s=1e-3),
+                PeriodicTask("b", 2, 0, period_s=3e-3, payload_bits=64, relative_deadline_s=1e-3, phase_s=1e-3),
+            ]
+        )
+        requests = tasks.requests_until(6e-3)
+        times = [r.arrival_time_s for r in requests]
+        assert times == sorted(times)
+        assert len(requests) == 3 + 2
+
+    def test_task_set_validation(self):
+        with pytest.raises(ConfigurationError):
+            TaskSet(tasks=[])
+        duplicate = PeriodicTask("same", 1, 0, period_s=1e-3, payload_bits=64, relative_deadline_s=1e-4)
+        with pytest.raises(ConfigurationError):
+            TaskSet(tasks=[duplicate, duplicate])
+
+
+class TestTrace:
+    def test_record_save_load_round_trip(self, rng, tmp_path):
+        generator = UniformTrafficGenerator(12, rng=rng)
+        recorder = TraceRecorder()
+        recorder.record_all(generator.generate(25))
+        path = tmp_path / "trace.csv"
+        recorder.save(path)
+        loaded = TraceRecorder.load(path)
+        assert len(loaded) == 25
+        assert loaded.requests[0].source == recorder.requests[0].source
+        assert loaded.requests[0].arrival_time_s == pytest.approx(
+            recorder.requests[0].arrival_time_s
+        )
+
+    def test_deadlines_survive_the_round_trip(self, rng, tmp_path):
+        generator = BurstyTrafficGenerator(12, rng=rng)
+        recorder = TraceRecorder()
+        recorder.record_all(generator.generate(5))
+        path = tmp_path / "trace.csv"
+        recorder.save(path)
+        loaded = TraceRecorder.load(path)
+        assert loaded.requests[0].deadline_s == pytest.approx(recorder.requests[0].deadline_s)
+
+    def test_replay_orders_by_arrival_time(self):
+        recorder = TraceRecorder()
+        recorder.record(TrafficRequest(2.0, 1, 0, 64, 1e-9))
+        recorder.record(TrafficRequest(1.0, 2, 0, 64, 1e-9))
+        replayed = list(replay_trace(recorder))
+        assert [r.arrival_time_s for r in replayed] == [1.0, 2.0]
+
+    def test_loading_a_missing_file_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            TraceRecorder.load(tmp_path / "missing.csv")
