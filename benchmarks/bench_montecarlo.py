@@ -1,0 +1,111 @@
+"""Scalar vs. batch Monte-Carlo throughput micro-benchmark.
+
+Times the pre-batching per-block reference loop against the vectorized
+batch engine of :func:`repro.coding.montecarlo.estimate_ber_monte_carlo`
+for the paper's H(71,64) workhorse code, reports throughput in blocks per
+second, and writes the comparison to ``benchmarks/BENCH_montecarlo.json``
+so the ``BENCH_*.json`` trajectory has a perf baseline.
+
+The scalar loop is timed over a subsample of blocks (its throughput is
+independent of the total) and both throughputs are compared at the
+``num_blocks=20000`` workload.  Run either way::
+
+    PYTHONPATH=src python benchmarks/bench_montecarlo.py
+    pytest benchmarks/bench_montecarlo.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.coding.hamming import ShortenedHammingCode  # noqa: E402
+from repro.coding.montecarlo import estimate_ber_monte_carlo  # noqa: E402
+
+RAW_BER = 1e-3
+NUM_BLOCKS = 20000
+SCALAR_SAMPLE_BLOCKS = 2000
+_JSON_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_montecarlo.json")
+
+
+def scalar_monte_carlo(code, raw_ber: float, num_blocks: int, rng) -> tuple[int, int]:
+    """The pre-batching per-block Monte-Carlo loop (reference baseline)."""
+    bit_errors = 0
+    block_errors = 0
+    for _ in range(num_blocks):
+        message = rng.integers(0, 2, size=code.k, dtype=np.uint8)
+        codeword = code.encode_block(message)
+        flips = (rng.random(code.n) < raw_ber).astype(np.uint8)
+        decoded = code._decode_block_reference(codeword ^ flips).message_bits
+        errors = int(np.count_nonzero(decoded != message))
+        bit_errors += errors
+        block_errors += errors > 0
+    return bit_errors, block_errors
+
+
+def run_benchmark(
+    num_blocks: int = NUM_BLOCKS, scalar_blocks: int = SCALAR_SAMPLE_BLOCKS
+) -> dict:
+    """Time both engines and return the throughput comparison as a dict."""
+    code = ShortenedHammingCode(64)
+    # Warm the lazily-built syndrome tables so neither side pays them.
+    estimate_ber_monte_carlo(code, RAW_BER, num_blocks=64, rng=np.random.default_rng(0))
+    scalar_monte_carlo(code, RAW_BER, 64, np.random.default_rng(0))
+
+    start = time.perf_counter()
+    batch_result = estimate_ber_monte_carlo(
+        code, RAW_BER, num_blocks=num_blocks, rng=np.random.default_rng(1)
+    )
+    batch_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    scalar_monte_carlo(code, RAW_BER, scalar_blocks, np.random.default_rng(1))
+    scalar_seconds = time.perf_counter() - start
+
+    batch_throughput = num_blocks / batch_seconds
+    scalar_throughput = scalar_blocks / scalar_seconds
+    return {
+        "code": code.name,
+        "raw_ber": RAW_BER,
+        "num_blocks": num_blocks,
+        "scalar_sample_blocks": scalar_blocks,
+        "scalar_blocks_per_sec": scalar_throughput,
+        "batch_blocks_per_sec": batch_throughput,
+        "scalar_seconds": scalar_seconds,
+        "batch_seconds": batch_seconds,
+        "speedup": batch_throughput / scalar_throughput,
+        "estimated_ber": batch_result.estimated_ber,
+    }
+
+
+def test_batch_is_at_least_ten_times_faster():
+    """Acceptance gate: >= 10x blocks/sec over the scalar loop at 20000 blocks."""
+    results = run_benchmark()
+    assert results["speedup"] >= 10.0, results
+
+
+def main() -> int:
+    results = run_benchmark()
+    with open(_JSON_PATH, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2)
+        handle.write("\n")
+    print(
+        f"{results['code']} @ raw BER {results['raw_ber']:g}: "
+        f"scalar {results['scalar_blocks_per_sec']:,.0f} blocks/s, "
+        f"batch {results['batch_blocks_per_sec']:,.0f} blocks/s "
+        f"({results['speedup']:.1f}x)"
+    )
+    print(f"[wrote {_JSON_PATH}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

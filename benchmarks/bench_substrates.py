@@ -68,6 +68,32 @@ def test_bench_monte_carlo_ber(benchmark):
     assert result.blocks_simulated == 500
 
 
+def test_bench_monte_carlo_ber_batched_20k(benchmark):
+    """Batched Monte-Carlo throughput at the bench_montecarlo workload (H(71,64), 20k blocks)."""
+    code = ShortenedHammingCode(64)
+    rng = np.random.default_rng(5)
+    result = benchmark(
+        estimate_ber_monte_carlo, code, 1e-3, num_blocks=20000, rng=rng
+    )
+    assert result.blocks_simulated == 20000
+
+
+def test_bench_batch_encode_decode(benchmark):
+    """Raw encode_batch + decode_batch throughput (H(71,64), 20k corrupted blocks)."""
+    code = ShortenedHammingCode(64)
+    rng = np.random.default_rng(6)
+    messages = rng.integers(0, 2, size=(20000, code.k), dtype=np.uint8)
+    flips = (rng.random((20000, code.n)) < 1e-3).astype(np.uint8)
+
+    def round_trip():
+        received = code.encode_batch(messages) ^ flips
+        return code.decode_batch(received)
+
+    result = benchmark(round_trip)
+    assert np.array_equal(result.message_bits[~result.detected_error],
+                          messages[~result.detected_error])
+
+
 def test_bench_link_simulator(benchmark):
     """Bit-level optical link simulation throughput (300 blocks)."""
     designer = OpticalLinkDesigner()

@@ -51,8 +51,23 @@ class BinarySymmetricChannel:
 
     def transmit(self, bits) -> np.ndarray:
         """Return a copy of ``bits`` with independent random flips applied."""
-        stream = as_gf2(bits).ravel()
-        flips = (self._rng.random(stream.size) < self._p).astype(np.uint8)
+        return self._flip(as_gf2(bits).ravel())
+
+    def transmit_batch(self, blocks) -> np.ndarray:
+        """Transmit a ``(B, n)`` block matrix with one uniform-random draw.
+
+        Batch counterpart of :meth:`transmit`; the flip statistics counters
+        accumulate over every bit of the batch.
+        """
+        matrix = as_gf2(blocks)
+        if matrix.ndim != 2:
+            raise ConfigurationError(
+                f"transmit_batch expects a (B, n) block matrix, got shape {matrix.shape}"
+            )
+        return self._flip(matrix)
+
+    def _flip(self, stream: np.ndarray) -> np.ndarray:
+        flips = (self._rng.random(stream.shape) < self._p).astype(np.uint8)
         self._bits_transmitted += int(stream.size)
         self._bits_flipped += int(flips.sum())
         return stream ^ flips

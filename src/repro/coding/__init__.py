@@ -25,7 +25,15 @@ paper plus the generic machinery needed to analyse them:
   "H(71,64)", "uncoded", ...).
 """
 
-from .base import Codeword, DecodeResult, LinearBlockCode
+from .base import (
+    BatchDecodeResult,
+    Codeword,
+    DecodeResult,
+    LinearBlockCode,
+    decode_blocks,
+    encode_blocks,
+)
+from .galois import GaloisField, get_field
 from .uncoded import UncodedScheme
 from .hamming import HammingCode, ShortenedHammingCode, hamming_parameters_for_message_length
 from .extended_hamming import ExtendedHammingCode
@@ -45,9 +53,14 @@ from .theory import (
 from .montecarlo import MonteCarloBERResult, estimate_ber_monte_carlo
 
 __all__ = [
+    "BatchDecodeResult",
     "Codeword",
     "DecodeResult",
     "LinearBlockCode",
+    "decode_blocks",
+    "encode_blocks",
+    "GaloisField",
+    "get_field",
     "UncodedScheme",
     "HammingCode",
     "ShortenedHammingCode",

@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..exceptions import CodewordLengthError, ConfigurationError
-from .base import DecodeResult, LinearBlockCode
+from .base import BatchDecodeResult, DecodeResult, LinearBlockCode
 from .hamming import HammingCode, ShortenedHammingCode
 from .matrices import as_gf2
 
@@ -59,12 +59,65 @@ class ExtendedHammingCode(LinearBlockCode):
         """The Hamming code the SECDED construction extends."""
         return self._inner
 
-    def decode_block(self, received_bits, *, strict: bool = False) -> DecodeResult:
-        """SECDED decoding: correct single errors, flag double errors.
+    def decode_batch(self, received, *, strict: bool = False) -> BatchDecodeResult:
+        """Vectorized SECDED decoding of a whole ``(B, n)`` batch.
+
+        The four scalar decision cases (clean, parity-bit error, odd-weight
+        error corrected through the inner Hamming code, double error) become
+        four boolean masks applied to the batch at once; the inner Hamming
+        correction itself runs through the inner code's batch decoder.
+        """
+        blocks = self._require_blocks(received)
+        inner_blocks = blocks[:, :-1]
+        parity_ok = (blocks.sum(axis=1, dtype=np.int64) & 1) == 0
+        inner = self._inner.decode_batch(inner_blocks)
+        inner_zero = ~inner.detected_error
+
+        corrected_words = blocks.copy()
+        detected = np.zeros(blocks.shape[0], dtype=bool)
+        corrected = np.zeros(blocks.shape[0], dtype=bool)
+        failure = np.zeros(blocks.shape[0], dtype=bool)
+
+        # Error confined to the overall parity bit itself.
+        parity_only = inner_zero & ~parity_ok
+        corrected_words[parity_only, -1] ^= 1
+        detected[parity_only] = True
+        corrected[parity_only] = True
+
+        # Odd-weight error: trust the inner Hamming correction, then
+        # recompute the parity bit so the corrected word is a codeword.
+        odd_weight = ~inner_zero & ~parity_ok
+        corrected_words[odd_weight, :-1] = inner.corrected_codewords[odd_weight]
+        corrected_words[odd_weight, -1] = (
+            corrected_words[odd_weight, :-1].sum(axis=1, dtype=np.int64) & 1
+        ).astype(np.uint8)
+        detected[odd_weight] = True
+        corrected[odd_weight] = True
+
+        # Even-weight error with a non-zero syndrome: a double error.
+        double = ~inner_zero & parity_ok
+        detected[double] = True
+        failure[double] = True
+        if strict and double.any():
+            from ..exceptions import DecodingFailure
+
+            raise DecodingFailure(f"{self.name}: double error detected")
+        return BatchDecodeResult(
+            message_bits=corrected_words[:, : self.k].copy(),
+            corrected_codewords=corrected_words,
+            detected_error=detected,
+            corrected=corrected,
+            failure=failure,
+        )
+
+    def _decode_block_reference(self, received_bits, *, strict: bool = False) -> DecodeResult:
+        """Scalar SECDED decoding: correct single errors, flag double errors.
 
         The overall parity bit distinguishes odd-weight error patterns
         (single error somewhere, correctable) from even-weight patterns with
         a non-zero inner syndrome (double error, detected but uncorrectable).
+        Kept as the pre-batching reference for the equivalence tests;
+        production callers go through :meth:`decode_batch`.
         """
         received = as_gf2(received_bits).ravel()
         if received.size != self.n:
@@ -95,7 +148,7 @@ class ExtendedHammingCode(LinearBlockCode):
             )
         if not overall_parity_ok:
             # Odd-weight error: trust the inner Hamming correction.
-            inner_result = self._inner.decode_block(inner_block)
+            inner_result = self._inner._decode_block_reference(inner_block)
             corrected = np.concatenate([inner_result.corrected_codeword, received[-1:]])
             # Recompute the parity bit so the corrected word is a codeword.
             corrected[-1] = np.uint8(int(corrected[:-1].sum()) % 2)

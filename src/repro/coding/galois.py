@@ -4,15 +4,26 @@ The BCH codes in :mod:`repro.coding.bch` need a Galois field to build their
 parity-check matrices and to run Berlekamp/Chien-style decoding.  This module
 provides a compact log/antilog-table implementation sufficient for the small
 fields used on-chip (m up to 10).
+
+The exponent and logarithm tables are NumPy ``int64`` arrays so the batch
+decoders can evaluate syndromes for whole codeword batches with fancy
+indexing (:attr:`GaloisField.exp_table` / :attr:`GaloisField.log_table`);
+the scalar arithmetic API keeps returning plain ints.  Because table
+construction is the expensive part, :func:`get_field` memoizes field
+instances by ``(m, primitive_polynomial)`` so repeated sweeps stop
+rebuilding them.
 """
 
 from __future__ import annotations
 
+import functools
 from typing import List
+
+import numpy as np
 
 from ..exceptions import ConfigurationError
 
-__all__ = ["GaloisField", "DEFAULT_PRIMITIVE_POLYNOMIALS"]
+__all__ = ["GaloisField", "get_field", "DEFAULT_PRIMITIVE_POLYNOMIALS"]
 
 
 # Primitive polynomials (as integer bit masks, LSB = x^0) for GF(2^m).
@@ -46,8 +57,8 @@ class GaloisField:
         self._m = m
         self._size = 1 << m
         self._poly = primitive_polynomial
-        self._exp: List[int] = [0] * (2 * self._size)
-        self._log: List[int] = [0] * self._size
+        self._exp = np.zeros(2 * self._size, dtype=np.int64)
+        self._log = np.zeros(self._size, dtype=np.int64)
         value = 1
         for power in range(self._size - 1):
             self._exp[power] = value
@@ -62,6 +73,8 @@ class GaloisField:
         # Duplicate the exponent table so products of logs never need a modulo.
         for power in range(self._size - 1, 2 * self._size):
             self._exp[power] = self._exp[power - (self._size - 1)]
+        self._exp.setflags(write=False)
+        self._log.setflags(write=False)
 
     # ------------------------------------------------------------------ metadata
     @property
@@ -79,6 +92,20 @@ class GaloisField:
         """Multiplicative group order 2^m - 1."""
         return self._size - 1
 
+    @property
+    def exp_table(self) -> np.ndarray:
+        """Read-only antilog table: ``exp_table[i] = alpha^i`` (doubled length).
+
+        Used by the batch BCH decoder to evaluate syndromes with fancy
+        indexing instead of per-element Python calls.
+        """
+        return self._exp
+
+    @property
+    def log_table(self) -> np.ndarray:
+        """Read-only log table: ``log_table[a] = log_alpha(a)`` (undefined at 0)."""
+        return self._log
+
     # ------------------------------------------------------------------ arithmetic
     def add(self, a: int, b: int) -> int:
         """Field addition (XOR)."""
@@ -88,13 +115,13 @@ class GaloisField:
         """Field multiplication via log/antilog tables."""
         if a == 0 or b == 0:
             return 0
-        return self._exp[self._log[a] + self._log[b]]
+        return int(self._exp[self._log[a] + self._log[b]])
 
     def inverse(self, a: int) -> int:
         """Multiplicative inverse; zero has no inverse."""
         if a == 0:
             raise ZeroDivisionError("zero has no multiplicative inverse in GF(2^m)")
-        return self._exp[self.order - self._log[a]]
+        return int(self._exp[self.order - self._log[a]])
 
     def divide(self, a: int, b: int) -> int:
         """Field division a / b."""
@@ -104,18 +131,18 @@ class GaloisField:
         """Raise a field element to an integer power."""
         if a == 0:
             return 0 if exponent > 0 else 1
-        log_a = self._log[a]
-        return self._exp[(log_a * exponent) % self.order]
+        log_a = int(self._log[a])
+        return int(self._exp[(log_a * exponent) % self.order])
 
     def alpha_power(self, exponent: int) -> int:
         """Return alpha^exponent where alpha is the primitive element."""
-        return self._exp[exponent % self.order]
+        return int(self._exp[exponent % self.order])
 
     def log(self, a: int) -> int:
         """Discrete logarithm base alpha."""
         if a == 0:
             raise ValueError("zero has no discrete logarithm")
-        return self._log[a]
+        return int(self._log[a])
 
     # ------------------------------------------------------------------ polynomials
     def poly_eval(self, coefficients: List[int], x: int) -> int:
@@ -151,3 +178,14 @@ class GaloisField:
         if any(c not in (0, 1) for c in poly):
             raise ConfigurationError("minimal polynomial did not reduce to GF(2) coefficients")
         return poly
+
+
+@functools.lru_cache(maxsize=None)
+def get_field(m: int, primitive_polynomial: int | None = None) -> GaloisField:
+    """Memoized :class:`GaloisField` constructor keyed by ``(m, poly)``.
+
+    Field tables are immutable, so sharing one instance across every BCH
+    code and sweep iteration is safe and avoids rebuilding the log/antilog
+    tables on each construction.
+    """
+    return GaloisField(m, primitive_polynomial)

@@ -9,6 +9,7 @@ studies; users can register their own with :func:`register_code`.
 
 from __future__ import annotations
 
+import functools
 import re
 from typing import Callable, Dict
 
@@ -35,6 +36,7 @@ def register_code(name: str, factory: Callable[[], object], *, overwrite: bool =
     if key in _FACTORIES and not overwrite:
         raise ConfigurationError(f"a code named {name!r} is already registered")
     _FACTORIES[key] = factory
+    _cached_lookup.cache_clear()
 
 
 def available_codes() -> list[str]:
@@ -42,17 +44,28 @@ def available_codes() -> list[str]:
     return sorted(_FACTORIES)
 
 
+@functools.lru_cache(maxsize=None)
+def _cached_lookup(key: str):
+    """Memoized code construction keyed by the normalised name.
+
+    Code objects are immutable apart from lazily-built decoding tables, so
+    sharing one instance across every lookup means repeated sweeps stop
+    rebuilding generator matrices and syndrome tables.  The cache is cleared
+    whenever :func:`register_code` changes the registry.
+    """
+    if key in _FACTORIES:
+        return _FACTORIES[key]()
+    return _construct_from_pattern(key)
+
+
 def get_code(name: str):
-    """Instantiate a code by name.
+    """Instantiate a code by name (memoized — repeated lookups share one instance).
 
     Besides explicitly registered names, the registry understands the
     generic patterns ``H(n,k)`` (Hamming or shortened Hamming),
     ``SECDED(k)``, ``BCH(m,t)`` and ``REP(r)``.
     """
-    key = _normalise(name)
-    if key in _FACTORIES:
-        return _FACTORIES[key]()
-    constructed = _construct_from_pattern(key)
+    constructed = _cached_lookup(_normalise(name))
     if constructed is not None:
         return constructed
     raise ConfigurationError(

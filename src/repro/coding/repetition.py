@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..exceptions import CodewordLengthError, ConfigurationError
-from .base import DecodeResult, LinearBlockCode
+from .base import BatchDecodeResult, DecodeResult, LinearBlockCode
 from .matrices import as_gf2
 
 __all__ = ["RepetitionCode"]
@@ -38,8 +38,23 @@ class RepetitionCode(LinearBlockCode):
         """Number of transmitted copies of each information bit."""
         return self._repetitions
 
-    def decode_block(self, received_bits, *, strict: bool = False) -> DecodeResult:
-        """Majority-vote decoding of one block."""
+    def decode_batch(self, received, *, strict: bool = False) -> BatchDecodeResult:
+        """Vectorized majority-vote decoding of a whole ``(B, r)`` batch."""
+        blocks = self._require_blocks(received)
+        ones = blocks.sum(axis=1, dtype=np.int64)
+        bits = (2 * ones > self.n).astype(np.uint8)
+        corrected_words = np.repeat(bits[:, np.newaxis], self.n, axis=1)
+        detected = (ones > 0) & (ones < self.n)
+        return BatchDecodeResult(
+            message_bits=bits[:, np.newaxis].copy(),
+            corrected_codewords=corrected_words,
+            detected_error=detected,
+            corrected=detected.copy(),
+            failure=np.zeros(blocks.shape[0], dtype=bool),
+        )
+
+    def _decode_block_reference(self, received_bits, *, strict: bool = False) -> DecodeResult:
+        """Scalar majority-vote decoding (pre-batching reference path)."""
         received = as_gf2(received_bits).ravel()
         if received.size != self.n:
             raise CodewordLengthError(

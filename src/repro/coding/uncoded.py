@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..exceptions import CodewordLengthError, ConfigurationError
-from .base import DecodeResult
+from .base import BatchDecodeResult, DecodeResult
 from .matrices import as_gf2
 
 __all__ = ["UncodedScheme"]
@@ -83,6 +83,27 @@ class UncodedScheme:
         return f"UncodedScheme(n={self._n})"
 
     # ------------------------------------------------------------------ coding API
+    def encode_batch(self, messages) -> np.ndarray:
+        """Return the ``(B, n)`` message matrix unchanged (after coercion)."""
+        blocks = as_gf2(messages)
+        if blocks.ndim != 2 or blocks.shape[1] != self._n:
+            raise CodewordLengthError(
+                f"uncoded scheme expected a (B, {self._n}) matrix, got shape {blocks.shape}"
+            )
+        return blocks.copy()
+
+    def decode_batch(self, received, *, strict: bool = False) -> BatchDecodeResult:
+        """Accept every received block verbatim; nothing can be detected."""
+        blocks = self.encode_batch(received)
+        clean = np.zeros(blocks.shape[0], dtype=bool)
+        return BatchDecodeResult(
+            message_bits=blocks.copy(),
+            corrected_codewords=blocks,
+            detected_error=clean,
+            corrected=clean.copy(),
+            failure=clean.copy(),
+        )
+
     def encode_block(self, message_bits) -> np.ndarray:
         """Return the message unchanged (after GF(2) coercion)."""
         message = as_gf2(message_bits).ravel()

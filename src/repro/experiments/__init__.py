@@ -17,6 +17,7 @@ figure5   Laser power vs target BER per coding scheme (Figure 5)
 figure6a  Channel power breakdown per wavelength at BER 1e-11 (Figure 6a)
 figure6b  Power vs communication-time Pareto trade-off (Figure 6b)
 headline  Headline claims: ~50% laser power cut, 92% laser share, 22 W saved
+validation Monte-Carlo validation of Eq. 2/3 with the batched link simulator
 ======== ==================================================================
 """
 
@@ -27,6 +28,7 @@ from .figure5 import Figure5Result, run_figure5
 from .figure6 import Figure6aResult, Figure6bResult, run_figure6a, run_figure6b
 from .headline import HeadlineResult, run_headline
 from .calibration import CalibrationSummary, run_calibration
+from .validation import ValidationPoint, ValidationResult, run_validation
 
 __all__ = [
     "Table1Result",
@@ -45,4 +47,7 @@ __all__ = [
     "run_headline",
     "CalibrationSummary",
     "run_calibration",
+    "ValidationPoint",
+    "ValidationResult",
+    "run_validation",
 ]

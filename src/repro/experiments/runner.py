@@ -25,6 +25,7 @@ from .figure6 import run_figure6a, run_figure6b
 from .headline import run_headline
 from .report import rows_to_csv, section
 from .table1 import run_table1
+from .validation import run_validation
 
 __all__ = ["main", "EXPERIMENTS"]
 
@@ -113,8 +114,14 @@ def _run_calibration() -> tuple[str, list[dict]]:
     return result.render_text(), rows
 
 
+def _run_validation() -> tuple[str, list[dict]]:
+    result = run_validation(DEFAULT_CONFIG)
+    return result.render_text(), result.to_rows()
+
+
 EXPERIMENTS: Dict[str, Callable[[], tuple[str, list[dict]]]] = {
     "table1": _run_table1,
+    "validation": _run_validation,
     "figure3": _run_figure3,
     "figure4": _run_figure4,
     "figure5": _run_figure5,

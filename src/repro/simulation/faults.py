@@ -44,9 +44,13 @@ class IndependentErrorModel:
         return (self.rng.random(num_bits) < self.bit_error_probability).astype(np.uint8)
 
     def apply(self, bits) -> np.ndarray:
-        """Return a copy of ``bits`` with the error pattern applied."""
-        stream = as_gf2(bits).ravel()
-        return stream ^ self.error_pattern(stream.size)
+        """Return a copy of ``bits`` with the error pattern applied.
+
+        Shape-preserving: a ``(B, n)`` block matrix comes back as a
+        ``(B, n)`` matrix with one flat random draw for the whole batch.
+        """
+        stream = as_gf2(bits)
+        return stream ^ self.error_pattern(stream.size).reshape(stream.shape)
 
     @property
     def expected_ber(self) -> float:
@@ -99,9 +103,14 @@ class BurstErrorModel:
         return pattern
 
     def apply(self, bits) -> np.ndarray:
-        """Return a copy of ``bits`` with a burst error pattern applied."""
-        stream = as_gf2(bits).ravel()
-        return stream ^ self.error_pattern(stream.size)
+        """Return a copy of ``bits`` with a burst error pattern applied.
+
+        Shape-preserving; a ``(B, n)`` matrix is corrupted in row-major
+        (transmission) order so bursts span adjacent blocks like they would
+        on the serialised wire.
+        """
+        stream = as_gf2(bits)
+        return stream ^ self.error_pattern(stream.size).reshape(stream.shape)
 
     @property
     def expected_ber(self) -> float:

@@ -155,3 +155,28 @@ class TestBCHCode:
         # BCH(m=3, t=3) keeps a single payload bit: the (7,1) repetition-like code.
         code = BCHCode(3, 3)
         assert code.k == 1
+
+
+class TestPolynomialDivision:
+    def test_division_round_trips(self):
+        from repro.coding.bch import _poly_divmod_gf2, _poly_mul_gf2
+
+        dividend = [1, 0, 1, 1, 0, 1]
+        divisor = [1, 1, 0, 1]
+        quotient, remainder = _poly_divmod_gf2(dividend, divisor)
+        recombined = _poly_mul_gf2(quotient, divisor)
+        recombined = [
+            c ^ (remainder[i] if i < len(remainder) else 0)
+            for i, c in enumerate(recombined)
+        ]
+        assert recombined == dividend[: len(recombined)]
+
+    def test_zero_divisor_is_rejected(self):
+        # Regression: an all-zero divisor used to degenerate the
+        # trailing-zero strip loop and silently produce garbage.
+        from repro.coding.bch import _poly_divmod_gf2
+
+        with pytest.raises(ZeroDivisionError):
+            _poly_divmod_gf2([1, 0, 1], [0, 0, 0])
+        with pytest.raises(ZeroDivisionError):
+            _poly_divmod_gf2([1, 1], [0])

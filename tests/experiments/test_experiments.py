@@ -14,6 +14,7 @@ from repro.experiments.figure6 import run_figure6a, run_figure6b
 from repro.experiments.headline import run_headline
 from repro.experiments.paperdata import Comparison, relative_error
 from repro.experiments.table1 import run_table1
+from repro.experiments.validation import run_validation
 
 
 class TestPaperData:
@@ -210,6 +211,40 @@ class TestCalibrationSummary:
         assert 8.0 < summary.signal_path_loss_db < 9.5
         assert summary.laser_max_output_uw == pytest.approx(700.0)
         assert "dB" in summary.render_text()
+
+
+class TestValidationExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_validation(num_blocks=4000, targets=(1e-3,), seed=7)
+
+    def test_covers_the_paper_code_set(self, result):
+        assert {p.code_name for p in result.points} == {"w/o ECC", "H(71,64)", "H(7,4)"}
+
+    def test_measured_raw_ber_tracks_equation_three(self, result):
+        for point in result.points:
+            assert point.measured_raw_ber == pytest.approx(point.analytic_raw_ber, rel=0.3), (
+                point.code_name
+            )
+
+    def test_coded_links_beat_their_raw_ber(self, result):
+        for name in ("H(71,64)", "H(7,4)"):
+            point = result.point_for(name, 1e-3)
+            assert point.measured_post_ber < point.measured_raw_ber
+
+    def test_point_lookup_and_rendering(self, result):
+        assert result.point_for("H(7,4)", 1e-3).blocks_simulated == 4000
+        with pytest.raises(KeyError):
+            result.point_for("H(7,4)", 1e-9)
+        text = result.render_text()
+        assert "Monte-Carlo validation" in text
+        assert "H(71,64)" in text
+        assert len(result.to_rows()) == 3
+
+    def test_registered_with_the_runner(self):
+        from repro.experiments.runner import EXPERIMENTS
+
+        assert "validation" in EXPERIMENTS
 
 
 class TestRunnerCli:

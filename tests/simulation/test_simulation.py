@@ -205,6 +205,14 @@ class TestMessageTransferSimulator:
         record = simulator.transfer(message)
         assert record.error_free
 
+    def test_empty_message_transfers_without_errors(self, simulator):
+        # Regression: zero payload blocks used to crash the batched decode
+        # path with np.concatenate([]).
+        record = simulator.transfer(Message(source=3, destination=0))
+        assert record.payload_bits == 0
+        assert record.coded_bits == 0
+        assert record.error_free
+
     def test_wrong_destination_rejected(self, simulator, rng):
         message = Message.from_bits(3, 4, rng.integers(0, 2, size=64, dtype=np.uint8))
         with pytest.raises(ConfigurationError):
