@@ -1,0 +1,112 @@
+"""Serial vs parallel orchestrator wall-time benchmark on the Figure 5 sweep.
+
+Runs a dense Figure 5 sweep (256 BER points per scheme instead of the
+paper's 10) through :func:`repro.experiments.orchestrator.run_experiment`
+once serially and once with ``jobs=4`` worker processes, verifies the two
+reports are byte-identical, and writes the wall-time comparison to
+``benchmarks/BENCH_orchestrator.json``.
+
+The speedup is hardware-bound: the pool cannot beat the serial loop on a
+single-core container, so the JSON records ``cpu_count`` next to the
+timings and the >= 2x acceptance gate is asserted only where at least four
+cores are available (the byte-identity gate always runs).  Run either way::
+
+    PYTHONPATH=src python benchmarks/bench_orchestrator.py
+    pytest benchmarks/bench_orchestrator.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.experiments.orchestrator import run_experiment  # noqa: E402
+from repro.experiments.report import rows_to_csv  # noqa: E402
+
+JOBS = 4
+NUM_BER_POINTS = 256
+_JSON_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_orchestrator.json")
+
+
+def _dense_ber_grid(num_points: int = NUM_BER_POINTS) -> list[float]:
+    """Log-spaced BER axis over the paper's 1e-3..1e-12 Figure 5 range."""
+    span = num_points - 1
+    return [10.0 ** (-3.0 - 9.0 * index / span) for index in range(num_points)]
+
+
+def _cpu_count() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def run_benchmark(num_points: int = NUM_BER_POINTS, jobs: int = JOBS) -> dict:
+    """Time the dense sweep serially and pooled; returns the comparison dict."""
+    options = {"target_bers": _dense_ber_grid(num_points)}
+    # Warm the memoized code/field/synthesis caches so neither side pays them.
+    run_experiment("figure5", options={"target_bers": _dense_ber_grid(4)})
+
+    start = time.perf_counter()
+    serial_text, serial_rows = run_experiment("figure5", options=options)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel_text, parallel_rows = run_experiment("figure5", options=options, jobs=jobs)
+    parallel_seconds = time.perf_counter() - start
+
+    identical = serial_text == parallel_text and rows_to_csv(serial_rows) == rows_to_csv(
+        parallel_rows
+    )
+    return {
+        "experiment": "figure5",
+        "num_ber_points": num_points,
+        "jobs": jobs,
+        "cpu_count": _cpu_count(),
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": serial_seconds / parallel_seconds,
+        "byte_identical": identical,
+    }
+
+
+def test_parallel_report_is_byte_identical():
+    """Acceptance gate: jobs=4 reproduces the serial report byte for byte."""
+    results = run_benchmark(num_points=64)
+    assert results["byte_identical"], results
+
+
+def test_parallel_is_at_least_twice_as_fast_on_multicore():
+    """Acceptance gate: >= 2x wall time at 4 workers (needs >= 4 cores)."""
+    if _cpu_count() < 4:
+        pytest.skip(f"only {_cpu_count()} core(s) available; speedup is hardware-bound")
+    results = run_benchmark()
+    assert results["speedup"] >= 2.0, results
+
+
+def main() -> int:
+    results = run_benchmark()
+    with open(_JSON_PATH, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2)
+        handle.write("\n")
+    print(
+        f"figure5 x{results['num_ber_points']} BER points: "
+        f"serial {results['serial_seconds']:.2f}s, "
+        f"jobs={results['jobs']} {results['parallel_seconds']:.2f}s "
+        f"({results['speedup']:.2f}x on {results['cpu_count']} cpu(s), "
+        f"byte-identical: {results['byte_identical']})"
+    )
+    print(f"[wrote {_JSON_PATH}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,12 +24,54 @@ import numpy as np
 from ..exceptions import ConfigurationError
 from .base import decode_blocks, encode_blocks
 
-__all__ = ["MonteCarloBERResult", "estimate_ber_monte_carlo", "DEFAULT_BATCH_SIZE"]
+__all__ = [
+    "MonteCarloBERResult",
+    "estimate_ber_monte_carlo",
+    "DEFAULT_BATCH_SIZE",
+    "shard_seed_sequences",
+    "resolve_rng",
+]
 
 #: Default number of blocks simulated per vectorized batch.  Large enough to
 #: amortise the per-batch Python overhead, small enough that the working set
 #: (a few (B, n) uint8/float matrices) stays cache- and memory-friendly.
 DEFAULT_BATCH_SIZE = 8192
+
+
+def shard_seed_sequences(seed: int, num_shards: int) -> list[np.random.SeedSequence]:
+    """Deterministic per-shard seed sequences for a sharded Monte-Carlo sweep.
+
+    Returns the ``num_shards`` children that ``np.random.SeedSequence(seed)``
+    would produce with :meth:`~numpy.random.SeedSequence.spawn`, constructed
+    directly from their spawn keys.  Because child ``i`` depends only on
+    ``(seed, i)`` — never on which process asks, in what order, or how many
+    siblings were spawned before it — every shard of a sweep can rebuild its
+    own generator independently, which is what makes the parallel experiment
+    orchestrator byte-identical to a serial run.
+    """
+    if num_shards < 0:
+        raise ConfigurationError("number of shards cannot be negative")
+    return [np.random.SeedSequence(seed, spawn_key=(index,)) for index in range(num_shards)]
+
+
+def resolve_rng(
+    rng: np.random.Generator | None = None,
+    seed: int | np.random.SeedSequence | None = None,
+) -> np.random.Generator:
+    """Build the generator for a simulation from either a ``rng`` or a ``seed``.
+
+    Exactly one of ``rng``/``seed`` may be given; with neither, a fresh
+    OS-entropy generator is returned.  Shared by the Monte-Carlo engine, the
+    link simulator and the sweep orchestrator so every entry point accepts
+    the same seeding vocabulary.
+    """
+    if rng is not None and seed is not None:
+        raise ConfigurationError("pass either rng or seed, not both")
+    if rng is not None:
+        return rng
+    if seed is not None:
+        return np.random.default_rng(seed)
+    return np.random.default_rng()
 
 
 @dataclass(frozen=True)
@@ -66,6 +108,7 @@ def estimate_ber_monte_carlo(
     *,
     num_blocks: int = 2000,
     rng: np.random.Generator | None = None,
+    seed: int | np.random.SeedSequence | None = None,
     batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> MonteCarloBERResult:
     """Estimate the post-decoding BER of ``code`` on a BSC.
@@ -81,6 +124,9 @@ def estimate_ber_monte_carlo(
         Number of independent codewords to simulate.
     rng:
         Optional numpy random generator for reproducibility.
+    seed:
+        Alternative to ``rng``: an integer or :class:`~numpy.random.SeedSequence`
+        from which the generator is built (see :func:`resolve_rng`).
     batch_size:
         Number of blocks simulated per vectorized batch; the default keeps
         the per-batch arrays comfortably in memory while leaving the hot
@@ -92,7 +138,7 @@ def estimate_ber_monte_carlo(
         raise ConfigurationError("at least one block must be simulated")
     if batch_size < 1:
         raise ConfigurationError("batch size must be at least 1")
-    generator = rng if rng is not None else np.random.default_rng()
+    generator = resolve_rng(rng, seed)
 
     bit_errors = 0
     block_errors = 0

@@ -21,7 +21,13 @@ from .parity import SingleParityCheckCode
 from .repetition import RepetitionCode
 from .uncoded import UncodedScheme
 
-__all__ = ["available_codes", "get_code", "register_code", "paper_code_set"]
+__all__ = [
+    "available_codes",
+    "get_code",
+    "register_code",
+    "paper_code_set",
+    "paper_code_by_name",
+]
 
 _FACTORIES: Dict[str, Callable[[], object]] = {}
 
@@ -84,6 +90,20 @@ def paper_code_set(block_length: int = 64) -> list:
         ShortenedHammingCode(block_length),
         HammingCode(3),
     ]
+
+
+def paper_code_by_name(name: str, block_length: int = 64):
+    """Resolve a code name against the paper set first, then the registry.
+
+    The paper set sizes its uncoded scheme to the IP bus width, so names
+    like ``"w/o ECC"`` must resolve through :func:`paper_code_set` (with the
+    caller's ``block_length``) before falling back to :func:`get_code`.
+    Shared by the experiment grid shards, which carry codes by name.
+    """
+    for code in paper_code_set(block_length):
+        if code.name == name:
+            return code
+    return get_code(name)
 
 
 def _normalise(name: str) -> str:

@@ -9,6 +9,17 @@ can reach).
 
 from __future__ import annotations
 
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "CodingError",
+    "CodewordLengthError",
+    "DecodingFailure",
+    "LaserPowerExceededError",
+    "InfeasibleDesignError",
+    "ArbitrationError",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the :mod:`repro` library."""

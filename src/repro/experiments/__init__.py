@@ -2,10 +2,15 @@
 
 Every module exposes a ``run_*`` function returning a structured result with
 the series/rows the paper plots, plus helpers comparing the reproduction to
-the paper's reported values (:mod:`repro.experiments.paperdata`).  The
-command-line entry point :mod:`repro.experiments.runner` regenerates
-everything and renders text reports; the pytest-benchmark targets under
-``benchmarks/`` time and validate the same code paths.
+the paper's reported values (:mod:`repro.experiments.paperdata`), plus a
+*grid descriptor* (``sweep_shards`` / ``run_sweep_shard`` / ``merge_sweep``)
+that decomposes the sweep into independent shards for the parallel
+orchestrator (:mod:`repro.experiments.orchestrator`).  The command-line
+entry point :mod:`repro.experiments.runner` regenerates everything —
+serially or with ``--jobs N`` worker processes, resumable from JSON
+checkpoints with ``--resume`` — and renders text reports; the
+pytest-benchmark targets under ``benchmarks/`` time and validate the same
+code paths.
 
 Experiment index
 ----------------
@@ -21,6 +26,7 @@ validation Monte-Carlo validation of Eq. 2/3 with the batched link simulator
 ======== ==================================================================
 """
 
+from .orchestrator import ExperimentGrid, available_experiments, describe_grid, run_experiment
 from .table1 import Table1Result, run_table1
 from .figure3 import Figure3Result, run_figure3
 from .figure4 import Figure4Result, run_figure4
@@ -31,6 +37,10 @@ from .calibration import CalibrationSummary, run_calibration
 from .validation import ValidationPoint, ValidationResult, run_validation
 
 __all__ = [
+    "ExperimentGrid",
+    "available_experiments",
+    "describe_grid",
+    "run_experiment",
     "Table1Result",
     "run_table1",
     "Figure3Result",

@@ -14,10 +14,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..config import DEFAULT_CONFIG, PaperConfig
+from .gridlib import single_merge_sweep as merge_sweep, single_sweep_shards as sweep_shards
 from ..link.power_budget import LinkPowerBudget
 from ..photonics.laser import VCSELModel
 
-__all__ = ["CalibrationSummary", "run_calibration"]
+__all__ = ["CalibrationSummary", "run_calibration", "sweep_shards", "run_sweep_shard", "merge_sweep"]
 
 
 @dataclass
@@ -67,3 +68,12 @@ def run_calibration(config: PaperConfig = DEFAULT_CONFIG) -> CalibrationSummary:
         laser_max_output_uw=laser.max_output_power_w * 1e6,
         chip_activity=config.chip_activity,
     )
+# ------------------------------------------------------------------ grid API
+def run_sweep_shard(params, config=DEFAULT_CONFIG):
+    """Worker: recompute the calibration summary; returns the rendered payload."""
+    result = run_calibration(config)
+    rows = [
+        {"component": name, "loss_db": value}
+        for name, value in result.loss_breakdown_db.items()
+    ]
+    return {"text": result.render_text(), "rows": rows}

@@ -16,9 +16,10 @@ import numpy as np
 from ..config import DEFAULT_CONFIG, PaperConfig
 from ..photonics.microring import MicroringResonator, MicroringState
 from ..units import linear_to_db
+from .gridlib import single_merge_sweep as merge_sweep, single_sweep_shards as sweep_shards
 from .paperdata import Comparison, PAPER_EXTINCTION_RATIO_DB
 
-__all__ = ["Figure3Result", "run_figure3"]
+__all__ = ["Figure3Result", "run_figure3", "sweep_shards", "run_sweep_shard", "merge_sweep"]
 
 
 @dataclass
@@ -76,3 +77,14 @@ def run_figure3(
         achieved_extinction_db=achieved,
         comparison=comparison,
     )
+# ------------------------------------------------------------------ grid API
+def run_sweep_shard(params, config=DEFAULT_CONFIG):
+    """Worker: sample the ring spectra; returns the rendered payload."""
+    result = run_figure3(config)
+    rows = [
+        {"wavelength_nm": wl * 1e9, "on_db": on, "off_db": off}
+        for wl, on, off in zip(
+            result.wavelengths_m, result.on_transmission_db, result.off_transmission_db
+        )
+    ]
+    return {"text": result.render_text(), "rows": rows}

@@ -15,9 +15,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..config import DEFAULT_CONFIG, PaperConfig
+from .gridlib import single_merge_sweep as merge_sweep, single_sweep_shards as sweep_shards
 from ..photonics.laser import VCSELModel
 
-__all__ = ["Figure4Result", "run_figure4"]
+__all__ = ["Figure4Result", "run_figure4", "sweep_shards", "run_sweep_shard", "merge_sweep"]
 
 
 @dataclass
@@ -79,3 +80,12 @@ def run_figure4(
         max_deliverable_uw=laser.max_output_power_w * 1e6,
         low_power_efficiency=laser.efficiency(1e-6, activity=config.chip_activity),
     )
+# ------------------------------------------------------------------ grid API
+def run_sweep_shard(params, config=DEFAULT_CONFIG):
+    """Worker: sweep the laser model; returns the rendered payload."""
+    result = run_figure4(config)
+    rows = [
+        {"op_laser_uw": op, "p_laser_mw": p}
+        for op, p in zip(result.optical_power_uw, result.laser_power_mw)
+    ]
+    return {"text": result.render_text(), "rows": rows}

@@ -10,20 +10,31 @@ the coded curves stay feasible across the whole range.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Sequence
 
 import numpy as np
 
-from ..coding.registry import paper_code_set
+from ..coding.registry import paper_code_by_name, paper_code_set
 from ..config import DEFAULT_CONFIG, PaperConfig
 from ..link.design import LinkDesignPoint, OpticalLinkDesigner
 from .paperdata import Comparison, PAPER_LASER_POWER_MW_AT_1E11
 
-__all__ = ["Figure5Result", "run_figure5", "DEFAULT_BER_GRID"]
+__all__ = [
+    "Figure5Result",
+    "run_figure5",
+    "DEFAULT_BER_GRID",
+    "sweep_shards",
+    "run_sweep_shard",
+    "merge_sweep",
+]
 
 #: The BER axis of Figure 5 (decades from 1e-3 down to 1e-12).
 DEFAULT_BER_GRID: tuple[float, ...] = tuple(10.0 ** (-e) for e in range(3, 13))
+
+#: Maximum BER points per orchestrator shard: small enough that a dense
+#: sweep load-balances across workers, large enough to amortise dispatch.
+DEFAULT_SHARD_SIZE = 16
 
 
 @dataclass
@@ -71,19 +82,8 @@ class Figure5Result:
         return "\n".join(lines)
 
 
-def run_figure5(
-    config: PaperConfig = DEFAULT_CONFIG,
-    *,
-    target_bers: Sequence[float] = DEFAULT_BER_GRID,
-    codes: Sequence | None = None,
-) -> Figure5Result:
-    """Sweep the BER targets for every coding scheme of the paper."""
-    designer = OpticalLinkDesigner(config=config)
-    code_list = list(codes) if codes is not None else paper_code_set(config.ip_bus_width_bits)
-    series: Dict[str, List[LinkDesignPoint]] = {}
-    for code in code_list:
-        series[code.name] = designer.sweep_ber(code, list(target_bers))
-
+def _paper_comparisons(series: Dict[str, List[LinkDesignPoint]]) -> List[Comparison]:
+    """Compare the 1e-11 laser powers of a sweep against the paper's values."""
     comparisons: List[Comparison] = []
     for name, reference in PAPER_LASER_POWER_MW_AT_1E11.items():
         if name not in series:
@@ -104,6 +104,89 @@ def run_figure5(
                 unit="mW",
             )
         )
+    return comparisons
+
+
+def run_figure5(
+    config: PaperConfig = DEFAULT_CONFIG,
+    *,
+    target_bers: Sequence[float] = DEFAULT_BER_GRID,
+    codes: Sequence | None = None,
+) -> Figure5Result:
+    """Sweep the BER targets for every coding scheme of the paper."""
+    designer = OpticalLinkDesigner(config=config)
+    code_list = list(codes) if codes is not None else paper_code_set(config.ip_bus_width_bits)
+    series: Dict[str, List[LinkDesignPoint]] = {}
+    for code in code_list:
+        series[code.name] = designer.sweep_ber(code, list(target_bers))
     return Figure5Result(
-        target_bers=tuple(target_bers), series=series, comparisons=comparisons
+        target_bers=tuple(target_bers),
+        series=series,
+        comparisons=_paper_comparisons(series),
     )
+
+
+# ------------------------------------------------------------------ grid API
+def sweep_shards(config: PaperConfig = DEFAULT_CONFIG, options: dict | None = None) -> list[dict]:
+    """Grid descriptor: shards of (code, BER-chunk) operating-point solves.
+
+    The BER axis of each code is chunked into at most ``shard_size`` points
+    per shard, so dense sweeps (the orchestrator benchmark runs hundreds of
+    points per code) load-balance across workers.  ``options`` may override
+    ``target_bers``, ``codes`` (names) and ``shard_size``.
+    """
+    options = options or {}
+    target_bers = [float(ber) for ber in options.get("target_bers", DEFAULT_BER_GRID)]
+    code_names = options.get(
+        "codes", [code.name for code in paper_code_set(config.ip_bus_width_bits)]
+    )
+    shard_size = int(options.get("shard_size", DEFAULT_SHARD_SIZE))
+    if shard_size < 1:
+        shard_size = DEFAULT_SHARD_SIZE
+    shards = []
+    for name in code_names:
+        for start in range(0, len(target_bers), shard_size):
+            shards.append({"code": name, "target_bers": target_bers[start : start + shard_size]})
+    return shards
+
+
+def run_sweep_shard(params: dict, config: PaperConfig = DEFAULT_CONFIG) -> dict:
+    """Worker: solve one code's chunk of operating points; JSON payload."""
+    designer = OpticalLinkDesigner(config=config)
+    code = paper_code_by_name(params["code"], config.ip_bus_width_bits)
+    points = designer.sweep_ber(code, params["target_bers"])
+    return {"code": params["code"], "points": [asdict(point) for point in points]}
+
+
+def merge_sweep(
+    payloads: Sequence[dict],
+    config: PaperConfig = DEFAULT_CONFIG,
+    options: dict | None = None,
+) -> tuple[str, list[dict]]:
+    """Assemble shard payloads into the (text report, CSV rows) pair.
+
+    Shards arrive in grid order, so concatenating each code's chunks
+    reproduces exactly the series a serial :func:`run_figure5` builds.
+    """
+    options = options or {}
+    target_bers = tuple(float(ber) for ber in options.get("target_bers", DEFAULT_BER_GRID))
+    series: Dict[str, List[LinkDesignPoint]] = {}
+    for payload in payloads:
+        series.setdefault(payload["code"], []).extend(
+            LinkDesignPoint(**point) for point in payload["points"]
+        )
+    result = Figure5Result(
+        target_bers=target_bers, series=series, comparisons=_paper_comparisons(series)
+    )
+    rows = [
+        {
+            "code": name,
+            "target_ber": point.target_ber,
+            "op_laser_uw": point.laser_output_power_uw,
+            "p_laser_mw": point.laser_power_mw,
+            "feasible": point.feasible,
+        }
+        for name, points in result.series.items()
+        for point in points
+    ]
+    return result.render_text(), rows

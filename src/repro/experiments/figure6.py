@@ -13,12 +13,12 @@ argument that the choice should be left to a runtime manager.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Sequence
 
 import numpy as np
 
-from ..coding.registry import paper_code_set
+from ..coding.registry import get_code, paper_code_by_name, paper_code_set
 from ..config import DEFAULT_CONFIG, PaperConfig
 from ..interfaces.synthesis import synthesize_interfaces
 from ..link.design import OpticalLinkDesigner
@@ -32,7 +32,18 @@ from .paperdata import (
     PAPER_LASER_SHARE_UNCODED,
 )
 
-__all__ = ["Figure6aResult", "Figure6bResult", "run_figure6a", "run_figure6b"]
+__all__ = [
+    "Figure6aResult",
+    "Figure6bResult",
+    "run_figure6a",
+    "run_figure6b",
+    "figure6a_sweep_shards",
+    "run_figure6a_sweep_shard",
+    "merge_figure6a_sweep",
+    "figure6b_sweep_shards",
+    "run_figure6b_sweep_shard",
+    "merge_figure6b_sweep",
+]
 
 
 @dataclass
@@ -137,6 +148,20 @@ def run_figure6a(
         breakdowns[code.name] = breakdown
         energies[code.name] = energy_metrics(breakdown, config=config)
 
+    return Figure6aResult(
+        target_ber=target_ber,
+        breakdowns=breakdowns,
+        energies=energies,
+        comparisons=_figure6a_comparisons(breakdowns, energies, config),
+    )
+
+
+def _figure6a_comparisons(
+    breakdowns: Dict[str, ChannelPowerBreakdown],
+    energies: Dict[str, EnergyMetrics],
+    config: PaperConfig,
+) -> List[Comparison]:
+    """Compare a Figure 6a breakdown against the paper's reported values."""
     comparisons: List[Comparison] = []
     if "w/o ECC" in breakdowns:
         comparisons.append(
@@ -168,12 +193,7 @@ def run_figure6a(
                     unit="pJ",
                 )
             )
-    return Figure6aResult(
-        target_ber=target_ber,
-        breakdowns=breakdowns,
-        energies=energies,
-        comparisons=comparisons,
-    )
+    return comparisons
 
 
 def run_figure6b(
@@ -206,3 +226,119 @@ def run_figure6b(
     return Figure6bResult(
         target_bers=tuple(target_bers), points=points, front=pareto_front(points)
     )
+
+
+# ------------------------------------------------------------------ grid API
+def figure6a_sweep_shards(
+    config: PaperConfig = DEFAULT_CONFIG, options: dict | None = None
+) -> list[dict]:
+    """Grid descriptor for Figure 6a: one shard per coding scheme."""
+    options = options or {}
+    code_names = options.get(
+        "codes", [code.name for code in paper_code_set(config.ip_bus_width_bits)]
+    )
+    target_ber = float(options.get("target_ber", 1e-11))
+    return [{"code": name, "target_ber": target_ber} for name in code_names]
+
+
+def run_figure6a_sweep_shard(params: dict, config: PaperConfig = DEFAULT_CONFIG) -> dict:
+    """Worker: power breakdown + energy metrics of one scheme; JSON payload."""
+    designer = OpticalLinkDesigner(config=config)
+    synthesis = synthesize_interfaces(config=config)
+    code = paper_code_by_name(params["code"], config.ip_bus_width_bits)
+    breakdown = channel_power_breakdown(
+        code, params["target_ber"], config=config, designer=designer, synthesis=synthesis
+    )
+    return {
+        "code": params["code"],
+        "breakdown": asdict(breakdown),
+        "energy": asdict(energy_metrics(breakdown, config=config)),
+    }
+
+
+def merge_figure6a_sweep(
+    payloads: Sequence[dict],
+    config: PaperConfig = DEFAULT_CONFIG,
+    options: dict | None = None,
+) -> tuple[str, list[dict]]:
+    """Assemble Figure 6a shard payloads into the (text, rows) pair."""
+    options = options or {}
+    breakdowns = {p["code"]: ChannelPowerBreakdown(**p["breakdown"]) for p in payloads}
+    energies = {p["code"]: EnergyMetrics(**p["energy"]) for p in payloads}
+    result = Figure6aResult(
+        target_ber=float(options.get("target_ber", 1e-11)),
+        breakdowns=breakdowns,
+        energies=energies,
+        comparisons=_figure6a_comparisons(breakdowns, energies, config),
+    )
+    rows = [breakdown.as_dict() for breakdown in result.breakdowns.values()]
+    return result.render_text(), rows
+
+
+def figure6b_sweep_shards(
+    config: PaperConfig = DEFAULT_CONFIG, options: dict | None = None
+) -> list[dict]:
+    """Grid descriptor for Figure 6b: one shard per target BER."""
+    options = options or {}
+    target_bers = [float(ber) for ber in options.get("target_bers", (1e-6, 1e-8, 1e-10, 1e-12))]
+    code_names = options.get(
+        "codes", [code.name for code in paper_code_set(config.ip_bus_width_bits)]
+    )
+    return [{"target_ber": ber, "codes": code_names} for ber in target_bers]
+
+
+def run_figure6b_sweep_shard(params: dict, config: PaperConfig = DEFAULT_CONFIG) -> dict:
+    """Worker: the trade-off points of every scheme at one BER; JSON payload."""
+    designer = OpticalLinkDesigner(config=config)
+    synthesis = synthesize_interfaces(config=config)
+    # Resolve the whole shard's codes in one pass rather than rebuilding the
+    # paper set per name inside the loop.
+    paper_set = {code.name: code for code in paper_code_set(config.ip_bus_width_bits)}
+    points = []
+    for name in params["codes"]:
+        breakdown = channel_power_breakdown(
+            paper_set[name] if name in paper_set else get_code(name),
+            params["target_ber"],
+            config=config,
+            designer=designer,
+            synthesis=synthesis,
+        )
+        if not breakdown.feasible:
+            continue
+        points.append(
+            asdict(
+                ParetoPoint(
+                    code_name=name,
+                    target_ber=float(params["target_ber"]),
+                    communication_time=breakdown.communication_time,
+                    channel_power_w=breakdown.total_power_w,
+                )
+            )
+        )
+    return {"target_ber": params["target_ber"], "points": points}
+
+
+def merge_figure6b_sweep(
+    payloads: Sequence[dict],
+    config: PaperConfig = DEFAULT_CONFIG,
+    options: dict | None = None,
+) -> tuple[str, list[dict]]:
+    """Assemble Figure 6b shard payloads into the (text, rows) pair."""
+    points = [
+        ParetoPoint(**point) for payload in payloads for point in payload["points"]
+    ]
+    result = Figure6bResult(
+        target_bers=tuple(payload["target_ber"] for payload in payloads),
+        points=points,
+        front=pareto_front(points),
+    )
+    rows = [
+        {
+            "code": p.code_name,
+            "target_ber": p.target_ber,
+            "communication_time": p.communication_time,
+            "channel_power_mw": p.channel_power_w * 1e3,
+        }
+        for p in result.points
+    ]
+    return result.render_text(), rows

@@ -1,0 +1,34 @@
+"""Shared grid-descriptor helpers for indivisible experiments.
+
+Experiments whose computation cannot be usefully sharded (Table I, the
+device-curve figures, the headline summary, the calibration audit) still
+participate in the orchestrator's uniform grid contract: they declare a
+single shard whose payload already carries the rendered ``text`` and CSV
+``rows``.  The modules alias these two helpers as their ``sweep_shards`` /
+``merge_sweep``, keeping every grid descriptor defined in exactly one
+place.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..config import DEFAULT_CONFIG, PaperConfig
+
+__all__ = ["single_sweep_shards", "single_merge_sweep"]
+
+
+def single_sweep_shards(
+    config: PaperConfig = DEFAULT_CONFIG, options: dict | None = None
+) -> list[dict]:
+    """Grid descriptor of an indivisible experiment: one parameterless shard."""
+    return [{}]
+
+
+def single_merge_sweep(
+    payloads: Sequence[dict],
+    config: PaperConfig = DEFAULT_CONFIG,
+    options: dict | None = None,
+) -> tuple[str, list[dict]]:
+    """Unwrap the single shard's already-rendered ``(text, rows)`` payload."""
+    return payloads[0]["text"], payloads[0]["rows"]

@@ -27,9 +27,10 @@ from ..power.interconnect import (
     interconnect_power_summary,
 )
 from .figure6 import run_figure6a
+from .gridlib import single_merge_sweep as merge_sweep, single_sweep_shards as sweep_shards
 from .paperdata import Comparison, PAPER_LASER_SHARE_UNCODED, PAPER_TOTAL_SAVING_W
 
-__all__ = ["HeadlineResult", "run_headline"]
+__all__ = ["HeadlineResult", "run_headline", "sweep_shards", "run_sweep_shard", "merge_sweep"]
 
 
 @dataclass
@@ -116,3 +117,12 @@ def run_headline(
         ber_1e12_feasible=feasibility,
         comparisons=comparisons,
     )
+# ------------------------------------------------------------------ grid API
+def run_sweep_shard(params, config=DEFAULT_CONFIG):
+    """Worker: recompute the headline claims; returns the rendered payload."""
+    result = run_headline(config)
+    rows = [
+        {"quantity": c.quantity, "measured": c.measured, "paper": c.reference, "unit": c.unit}
+        for c in result.comparisons
+    ]
+    return {"text": result.render_text(), "rows": rows}

@@ -1,0 +1,307 @@
+"""Parallel sweep orchestrator: shard, fan out, checkpoint, merge.
+
+Every experiment module exposes a *grid descriptor* — three functions that
+decompose its sweep into independent, JSON-serializable shards:
+
+* ``sweep_shards(config, options)`` lists the shard parameter dicts (the
+  grid: BER chunks for Figure 5, (code, target) Monte-Carlo points for the
+  validation sweep, a single ``{}`` for indivisible experiments);
+* ``run_sweep_shard(params, config)`` computes one shard and returns a
+  JSON payload;
+* ``merge_sweep(payloads, config, options)`` assembles the ordered payloads
+  into the final ``(text report, CSV rows)`` pair.
+
+:func:`run_experiment` drives those descriptors either serially or through
+a process pool (``jobs > 1``).  Three properties make the parallel run
+byte-identical to the serial one:
+
+1. shards never share state — stochastic shards rebuild their generator
+   from ``SeedSequence(seed, spawn_key=(index,))`` (see
+   :func:`repro.coding.montecarlo.shard_seed_sequences`), so the outcome
+   depends only on the grid position, not on scheduling;
+2. payloads are reduced to plain JSON types the moment they are produced,
+   so the in-process, pickled-over-a-pipe and reloaded-from-checkpoint
+   paths all carry exactly the same values (JSON round-trips floats
+   losslessly);
+3. merging consumes payloads in grid order regardless of completion order.
+
+When a ``checkpoint_dir`` is given, completed shards are flushed to
+``<dir>/<experiment>.json`` (atomically, after every shard) together with a
+fingerprint of the grid; ``resume=True`` reloads any checkpoint whose
+fingerprint still matches and only runs the missing shards.  An interrupted
+eight-hour sweep therefore restarts where it stopped, and a finished one
+merges instantly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import tempfile
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Sequence
+
+from ..config import DEFAULT_CONFIG, PaperConfig
+from ..exceptions import ConfigurationError
+from . import calibration, figure3, figure4, figure5, figure6, headline, table1, validation
+
+__all__ = [
+    "GridFunctions",
+    "ExperimentGrid",
+    "available_experiments",
+    "describe_grid",
+    "run_experiment",
+    "checkpoint_path",
+]
+
+
+@dataclass(frozen=True)
+class GridFunctions:
+    """The three grid-descriptor callables of one experiment."""
+
+    shards: Callable[..., List[dict]]
+    run_shard: Callable[..., dict]
+    merge: Callable[..., tuple]
+
+
+#: Registry mapping experiment names to their grid descriptors.  Populated at
+#: import time so worker processes (which re-import this module) can dispatch
+#: shards by experiment name alone.
+_GRIDS: Dict[str, GridFunctions] = {
+    "table1": GridFunctions(table1.sweep_shards, table1.run_sweep_shard, table1.merge_sweep),
+    "validation": GridFunctions(
+        validation.sweep_shards, validation.run_sweep_shard, validation.merge_sweep
+    ),
+    "figure3": GridFunctions(figure3.sweep_shards, figure3.run_sweep_shard, figure3.merge_sweep),
+    "figure4": GridFunctions(figure4.sweep_shards, figure4.run_sweep_shard, figure4.merge_sweep),
+    "figure5": GridFunctions(figure5.sweep_shards, figure5.run_sweep_shard, figure5.merge_sweep),
+    "figure6a": GridFunctions(
+        figure6.figure6a_sweep_shards,
+        figure6.run_figure6a_sweep_shard,
+        figure6.merge_figure6a_sweep,
+    ),
+    "figure6b": GridFunctions(
+        figure6.figure6b_sweep_shards,
+        figure6.run_figure6b_sweep_shard,
+        figure6.merge_figure6b_sweep,
+    ),
+    "headline": GridFunctions(headline.sweep_shards, headline.run_sweep_shard, headline.merge_sweep),
+    "calibration": GridFunctions(
+        calibration.sweep_shards, calibration.run_sweep_shard, calibration.merge_sweep
+    ),
+}
+
+
+def available_experiments() -> list[str]:
+    """Sorted names of the experiments the orchestrator can run."""
+    return sorted(_GRIDS)
+
+
+@dataclass(frozen=True)
+class ExperimentGrid:
+    """A fully described sweep: the shard list plus its identity fingerprint."""
+
+    experiment: str
+    shard_params: tuple
+    options: dict | None
+
+    @property
+    def fingerprint(self) -> str:
+        """Hash identifying the grid; a checkpoint is only valid if it matches."""
+        canonical = json.dumps(
+            {
+                "experiment": self.experiment,
+                "shards": list(self.shard_params),
+                "options": self.options,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def describe_grid(
+    experiment: str,
+    config: PaperConfig = DEFAULT_CONFIG,
+    options: dict | None = None,
+) -> ExperimentGrid:
+    """Build the grid descriptor of one experiment (without running it)."""
+    functions = _grid_functions(experiment)
+    shards = tuple(_jsonable(params) for params in functions.shards(config, options))
+    return ExperimentGrid(experiment=experiment, shard_params=shards, options=options)
+
+
+def checkpoint_path(checkpoint_dir: str, experiment: str) -> str:
+    """Location of one experiment's checkpoint inside a checkpoint directory."""
+    return os.path.join(checkpoint_dir, f"{experiment}.json")
+
+
+def run_experiment(
+    experiment: str,
+    *,
+    config: PaperConfig = DEFAULT_CONFIG,
+    jobs: int = 1,
+    options: dict | None = None,
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
+) -> tuple[str, list[dict]]:
+    """Run one experiment's full grid and return ``(text report, CSV rows)``.
+
+    Parameters
+    ----------
+    experiment:
+        A name from :func:`available_experiments`.
+    config:
+        Evaluation parameters; must be picklable when ``jobs > 1``.
+    jobs:
+        Number of worker processes.  ``1`` (the default) runs the shards
+        in-process; the report is byte-identical either way.
+    options:
+        Experiment-specific grid overrides (e.g. ``{"target_bers": [...]}``
+        for ``figure5``); must be JSON-serializable since they are part of
+        the checkpoint fingerprint.
+    checkpoint_dir:
+        When given, completed shards are persisted there after every shard,
+        so an interrupted sweep loses at most one shard of work.
+    resume:
+        Reuse the payloads of a matching checkpoint and run only the
+        missing shards.  Requires ``checkpoint_dir``.
+    """
+    if jobs < 1:
+        raise ConfigurationError("jobs must be at least 1")
+    if resume and checkpoint_dir is None:
+        raise ConfigurationError("resume requires a checkpoint directory")
+    functions = _grid_functions(experiment)
+    grid = describe_grid(experiment, config, options)
+
+    completed: Dict[int, Any] = {}
+    if resume and checkpoint_dir is not None:
+        completed = _load_checkpoint(checkpoint_dir, grid)
+    pending = [index for index in range(len(grid.shard_params)) if index not in completed]
+
+    if jobs == 1 or len(pending) <= 1:
+        for index in pending:
+            completed[index] = _jsonable(
+                functions.run_shard(grid.shard_params[index], config)
+            )
+            if checkpoint_dir is not None:
+                _write_checkpoint(checkpoint_dir, grid, completed)
+    else:
+        _run_shards_pooled(grid, pending, completed, config, jobs, checkpoint_dir)
+
+    payloads = [completed[index] for index in range(len(grid.shard_params))]
+    return functions.merge(payloads, config, options)
+
+
+# ------------------------------------------------------------------ internals
+def _grid_functions(experiment: str) -> GridFunctions:
+    try:
+        return _GRIDS[experiment]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {experiment!r}; available: {available_experiments()}"
+        ) from None
+
+
+def _execute_shard(experiment: str, params: dict, config: PaperConfig) -> Any:
+    """Worker entry point: run one shard and reduce it to JSON types.
+
+    Module-level so it pickles by reference into worker processes, which
+    re-import this module and dispatch through the same registry.
+    """
+    return _jsonable(_GRIDS[experiment].run_shard(params, config))
+
+
+def _run_shards_pooled(
+    grid: ExperimentGrid,
+    pending: Sequence[int],
+    completed: Dict[int, Any],
+    config: PaperConfig,
+    jobs: int,
+    checkpoint_dir: str | None,
+) -> None:
+    """Fan the pending shards out over a process pool, checkpointing as they land."""
+    context = None
+    if "fork" in multiprocessing.get_all_start_methods():
+        # Fork keeps worker start-up in the millisecond range (no numpy/scipy
+        # re-import), which is what makes parallelism pay off even for
+        # sub-second analytic sweeps.
+        context = multiprocessing.get_context("fork")
+    with ProcessPoolExecutor(max_workers=min(jobs, len(pending)), mp_context=context) as pool:
+        futures = {
+            pool.submit(_execute_shard, grid.experiment, grid.shard_params[index], config): index
+            for index in pending
+        }
+        remaining = set(futures)
+        while remaining:
+            done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+            for future in done:
+                completed[futures[future]] = future.result()
+            if checkpoint_dir is not None:
+                _write_checkpoint(checkpoint_dir, grid, completed)
+
+
+def _jsonable(value: Any) -> Any:
+    """Reduce a payload to plain JSON types (dict/list/str/float/int/bool/None).
+
+    Numpy scalars are converted with ``.item()``; tuples become lists.  This
+    runs on every shard payload — pooled or not — so all execution paths
+    carry identical values and a checkpoint round-trip changes nothing.
+    """
+    if isinstance(value, dict):
+        return {key: _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    raise ConfigurationError(f"shard payload value {value!r} is not JSON-serializable")
+
+
+def _load_checkpoint(checkpoint_dir: str, grid: ExperimentGrid) -> Dict[int, Any]:
+    """Payloads of a previous run, or ``{}`` if absent, corrupt or stale."""
+    path = checkpoint_path(checkpoint_dir, grid.experiment)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            stored = json.load(handle)
+    except (OSError, ValueError):
+        return {}
+    if stored.get("fingerprint") != grid.fingerprint:
+        return {}
+    shards = stored.get("shards", {})
+    try:
+        return {
+            int(index): payload
+            for index, payload in shards.items()
+            if 0 <= int(index) < len(grid.shard_params)
+        }
+    except (TypeError, ValueError):
+        # Malformed shard keys count as a corrupt checkpoint: recompute.
+        return {}
+
+
+def _write_checkpoint(checkpoint_dir: str, grid: ExperimentGrid, completed: Dict[int, Any]) -> None:
+    """Atomically persist the completed shards (write-to-temp, then rename)."""
+    os.makedirs(checkpoint_dir, exist_ok=True)
+    path = checkpoint_path(checkpoint_dir, grid.experiment)
+    payload = {
+        "experiment": grid.experiment,
+        "fingerprint": grid.fingerprint,
+        "num_shards": len(grid.shard_params),
+        "shards": {str(index): completed[index] for index in sorted(completed)},
+    }
+    descriptor, temp_path = tempfile.mkstemp(
+        dir=checkpoint_dir, prefix=f".{grid.experiment}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(temp_path, path)
+    except BaseException:
+        if os.path.exists(temp_path):
+            os.unlink(temp_path)
+        raise

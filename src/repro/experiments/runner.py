@@ -2,135 +2,44 @@
 
 Usage::
 
-    python -m repro.experiments.runner            # run everything
-    python -m repro.experiments.runner figure5    # run one experiment
-    repro-experiments table1 figure6a             # via the console script
+    python -m repro.experiments.runner             # run everything
+    python -m repro.experiments.runner figure5     # run one experiment
+    repro-experiments table1 figure6a              # via the console script
+    repro-experiments figure5 --jobs 4             # parallel sweep shards
+    repro-experiments validation --jobs 4 --checkpoint-dir ckpt
+    repro-experiments validation --resume --checkpoint-dir ckpt
 
 Each experiment prints a text report; ``--csv DIR`` additionally writes the
-raw series as CSV files for external plotting.
+raw series as CSV files for external plotting.  Execution is delegated to
+:mod:`repro.experiments.orchestrator`, which shards each experiment's
+parameter grid, optionally fans the shards out over ``--jobs`` worker
+processes, and — thanks to per-shard deterministic seeding — produces
+byte-identical reports at any parallelism.  With ``--checkpoint-dir`` the
+completed shards are persisted after each one, so an interrupted sweep
+rerun with ``--resume`` picks up where it stopped.
 """
 
 from __future__ import annotations
 
 import argparse
+import functools
 import os
 from typing import Callable, Dict
 
-from ..config import DEFAULT_CONFIG
-from .calibration import run_calibration
-from .figure3 import run_figure3
-from .figure4 import run_figure4
-from .figure5 import run_figure5
-from .figure6 import run_figure6a, run_figure6b
-from .headline import run_headline
+from .orchestrator import available_experiments, run_experiment
 from .report import rows_to_csv, section
-from .table1 import run_table1
-from .validation import run_validation
 
 __all__ = ["main", "EXPERIMENTS"]
 
 
-def _run_table1() -> tuple[str, list[dict]]:
-    result = run_table1(DEFAULT_CONFIG)
-    return result.render_text(), result.report.to_rows()
-
-
-def _run_figure3() -> tuple[str, list[dict]]:
-    result = run_figure3(DEFAULT_CONFIG)
-    rows = [
-        {
-            "wavelength_nm": wl * 1e9,
-            "on_db": on,
-            "off_db": off,
-        }
-        for wl, on, off in zip(
-            result.wavelengths_m, result.on_transmission_db, result.off_transmission_db
-        )
-    ]
-    return result.render_text(), rows
-
-
-def _run_figure4() -> tuple[str, list[dict]]:
-    result = run_figure4(DEFAULT_CONFIG)
-    rows = [
-        {"op_laser_uw": op, "p_laser_mw": p}
-        for op, p in zip(result.optical_power_uw, result.laser_power_mw)
-    ]
-    return result.render_text(), rows
-
-
-def _run_figure5() -> tuple[str, list[dict]]:
-    result = run_figure5(DEFAULT_CONFIG)
-    rows = []
-    for name, points in result.series.items():
-        for point in points:
-            rows.append(
-                {
-                    "code": name,
-                    "target_ber": point.target_ber,
-                    "op_laser_uw": point.laser_output_power_uw,
-                    "p_laser_mw": point.laser_power_mw,
-                    "feasible": point.feasible,
-                }
-            )
-    return result.render_text(), rows
-
-
-def _run_figure6a() -> tuple[str, list[dict]]:
-    result = run_figure6a(DEFAULT_CONFIG)
-    rows = [breakdown.as_dict() for breakdown in result.breakdowns.values()]
-    return result.render_text(), rows
-
-
-def _run_figure6b() -> tuple[str, list[dict]]:
-    result = run_figure6b(DEFAULT_CONFIG)
-    rows = [
-        {
-            "code": p.code_name,
-            "target_ber": p.target_ber,
-            "communication_time": p.communication_time,
-            "channel_power_mw": p.channel_power_w * 1e3,
-        }
-        for p in result.points
-    ]
-    return result.render_text(), rows
-
-
-def _run_headline() -> tuple[str, list[dict]]:
-    result = run_headline(DEFAULT_CONFIG)
-    rows = [
-        {"quantity": c.quantity, "measured": c.measured, "paper": c.reference, "unit": c.unit}
-        for c in result.comparisons
-    ]
-    return result.render_text(), rows
-
-
-def _run_calibration() -> tuple[str, list[dict]]:
-    result = run_calibration(DEFAULT_CONFIG)
-    rows = [
-        {"component": name, "loss_db": value}
-        for name, value in result.loss_breakdown_db.items()
-    ]
-    return result.render_text(), rows
-
-
-def _run_validation() -> tuple[str, list[dict]]:
-    result = run_validation(DEFAULT_CONFIG)
-    return result.render_text(), result.to_rows()
-
-
 EXPERIMENTS: Dict[str, Callable[[], tuple[str, list[dict]]]] = {
-    "table1": _run_table1,
-    "validation": _run_validation,
-    "figure3": _run_figure3,
-    "figure4": _run_figure4,
-    "figure5": _run_figure5,
-    "figure6a": _run_figure6a,
-    "figure6b": _run_figure6b,
-    "headline": _run_headline,
-    "calibration": _run_calibration,
+    name: functools.partial(run_experiment, name) for name in available_experiments()
 }
-"""Mapping from experiment name to its runner (text, csv rows)."""
+"""Mapping from experiment name to a runner producing ``(text, csv rows)``.
+
+Kept for programmatic use (and API compatibility with the pre-orchestrator
+runner); each entry executes the experiment's full grid serially.
+"""
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -147,7 +56,32 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="directory in which to write one CSV file per experiment",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes per experiment (default: 1; reports are "
+        "byte-identical at any parallelism)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="persist completed sweep shards to DIR after each shard",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse matching shards from --checkpoint-dir (default: "
+        ".repro-checkpoints) and run only the missing ones",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be at least 1")
+    checkpoint_dir = args.checkpoint_dir
+    if args.resume and checkpoint_dir is None:
+        checkpoint_dir = ".repro-checkpoints"
 
     names = args.experiments if args.experiments else sorted(EXPERIMENTS)
     unknown = [name for name in names if name not in EXPERIMENTS]
@@ -156,7 +90,12 @@ def main(argv: list[str] | None = None) -> int:
             f"unknown experiment(s) {unknown}; available: {', '.join(sorted(EXPERIMENTS))}"
         )
     for name in names:
-        text, rows = EXPERIMENTS[name]()
+        text, rows = run_experiment(
+            name,
+            jobs=args.jobs,
+            checkpoint_dir=checkpoint_dir,
+            resume=args.resume,
+        )
         print(section(f"Experiment {name}", text))
         if args.csv:
             os.makedirs(args.csv, exist_ok=True)

@@ -16,19 +16,31 @@ figure experiments in :mod:`repro.experiments.runner` as ``validation``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import List, Sequence
 
 import numpy as np
 
-from ..coding.registry import paper_code_set
+from ..coding.registry import paper_code_by_name, paper_code_set
 from ..coding.theory import output_ber
 from ..config import DEFAULT_CONFIG, PaperConfig
 from ..exceptions import ConfigurationError
 from ..link.design import OpticalLinkDesigner
 from ..simulation.linksim import OpticalLinkSimulator
 
-__all__ = ["ValidationPoint", "ValidationResult", "run_validation"]
+__all__ = [
+    "ValidationPoint",
+    "ValidationResult",
+    "run_validation",
+    "sweep_shards",
+    "run_sweep_shard",
+    "merge_sweep",
+]
+
+#: Defaults of the sweep; shared by :func:`run_validation` and the grid API.
+DEFAULT_TARGETS: tuple[float, ...] = (1e-3, 1e-4)
+DEFAULT_NUM_BLOCKS = 20000
+DEFAULT_SEED = 2024
 
 
 @dataclass(frozen=True)
@@ -104,13 +116,47 @@ class ValidationResult:
         return "\n".join(lines)
 
 
+def _validation_point(
+    code,
+    target_ber: float,
+    *,
+    config: PaperConfig,
+    num_blocks: int,
+    batch_size: int,
+    seed: int,
+    spawn_index: int,
+) -> ValidationPoint:
+    """Design, simulate and measure one (code, target BER) link.
+
+    The generator is spawned from ``SeedSequence(seed, spawn_key=(spawn_index,))``,
+    so the point's Monte-Carlo outcome depends only on ``(seed, spawn_index)``
+    — never on which other points ran before it or in which process — which
+    is what lets the parallel orchestrator reproduce the serial report
+    byte for byte.
+    """
+    designer = OpticalLinkDesigner(config=config)
+    design = designer.design_point(code, target_ber)
+    rng = np.random.default_rng(np.random.SeedSequence(seed, spawn_key=(spawn_index,)))
+    simulator = OpticalLinkSimulator(code, design, config=config, rng=rng)
+    result = simulator.run(num_blocks, batch_size=batch_size)
+    return ValidationPoint(
+        code_name=code.name,
+        target_ber=float(target_ber),
+        analytic_raw_ber=design.raw_channel_ber,
+        measured_raw_ber=result.measured_raw_ber,
+        analytic_post_ber=float(output_ber(code, design.raw_channel_ber)),
+        measured_post_ber=result.measured_post_decoding_ber,
+        blocks_simulated=result.blocks_simulated,
+    )
+
+
 def run_validation(
     config: PaperConfig = DEFAULT_CONFIG,
     *,
-    targets: Sequence[float] = (1e-3, 1e-4),
-    num_blocks: int = 20000,
+    targets: Sequence[float] = DEFAULT_TARGETS,
+    num_blocks: int = DEFAULT_NUM_BLOCKS,
     batch_size: int = 8192,
-    seed: int = 2024,
+    seed: int = DEFAULT_SEED,
 ) -> ValidationResult:
     """Validate the analytic chain at Monte-Carlo-friendly BER targets.
 
@@ -126,27 +172,84 @@ def run_validation(
     batch_size:
         Blocks per vectorized simulation batch.
     seed:
-        Seed of the shared random generator, for reproducible reports.
+        Root seed.  Each (code, target) point runs on its own child
+        generator spawned from it, so the report is reproducible and
+        independent of sweep order or parallelism.
     """
     if num_blocks < 1:
         raise ConfigurationError("at least one block must be simulated")
-    designer = OpticalLinkDesigner(config=config)
-    rng = np.random.default_rng(seed)
     points: List[ValidationPoint] = []
+    spawn_index = 0
     for target_ber in targets:
-        for code in paper_code_set():
-            design = designer.design_point(code, target_ber)
-            simulator = OpticalLinkSimulator(code, design, config=config, rng=rng)
-            result = simulator.run(num_blocks, batch_size=batch_size)
+        for code in paper_code_set(config.ip_bus_width_bits):
             points.append(
-                ValidationPoint(
-                    code_name=code.name,
-                    target_ber=float(target_ber),
-                    analytic_raw_ber=design.raw_channel_ber,
-                    measured_raw_ber=result.measured_raw_ber,
-                    analytic_post_ber=float(output_ber(code, design.raw_channel_ber)),
-                    measured_post_ber=result.measured_post_decoding_ber,
-                    blocks_simulated=result.blocks_simulated,
+                _validation_point(
+                    code,
+                    target_ber,
+                    config=config,
+                    num_blocks=num_blocks,
+                    batch_size=batch_size,
+                    seed=seed,
+                    spawn_index=spawn_index,
                 )
             )
+            spawn_index += 1
     return ValidationResult(points=points, num_blocks=num_blocks)
+
+
+# ------------------------------------------------------------------ grid API
+def sweep_shards(config: PaperConfig = DEFAULT_CONFIG, options: dict | None = None) -> list[dict]:
+    """Grid descriptor: one shard per (target BER, code) Monte-Carlo point.
+
+    ``options`` may override ``targets``, ``num_blocks``, ``batch_size`` and
+    ``seed`` (all JSON-serializable); shards carry everything a worker needs.
+    """
+    options = options or {}
+    targets = options.get("targets", DEFAULT_TARGETS)
+    code_names = options.get(
+        "codes", [code.name for code in paper_code_set(config.ip_bus_width_bits)]
+    )
+    shards = []
+    spawn_index = 0
+    for target_ber in targets:
+        for name in code_names:
+            shards.append(
+                {
+                    "code": name,
+                    "target_ber": float(target_ber),
+                    "num_blocks": int(options.get("num_blocks", DEFAULT_NUM_BLOCKS)),
+                    "batch_size": int(options.get("batch_size", 8192)),
+                    "seed": int(options.get("seed", DEFAULT_SEED)),
+                    "spawn_index": spawn_index,
+                }
+            )
+            spawn_index += 1
+    return shards
+
+
+def run_sweep_shard(params: dict, config: PaperConfig = DEFAULT_CONFIG) -> dict:
+    """Worker: simulate one (code, target) point; returns a JSON payload."""
+    point = _validation_point(
+        paper_code_by_name(params["code"], config.ip_bus_width_bits),
+        params["target_ber"],
+        config=config,
+        num_blocks=params["num_blocks"],
+        batch_size=params["batch_size"],
+        seed=params["seed"],
+        spawn_index=params["spawn_index"],
+    )
+    return asdict(point)
+
+
+def merge_sweep(
+    payloads: Sequence[dict],
+    config: PaperConfig = DEFAULT_CONFIG,
+    options: dict | None = None,
+) -> tuple[str, list[dict]]:
+    """Assemble shard payloads into the (text report, CSV rows) pair."""
+    options = options or {}
+    result = ValidationResult(
+        points=[ValidationPoint(**payload) for payload in payloads],
+        num_blocks=int(options.get("num_blocks", DEFAULT_NUM_BLOCKS)),
+    )
+    return result.render_text(), result.to_rows()

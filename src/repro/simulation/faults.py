@@ -10,6 +10,16 @@ Two models are provided:
   "bad" state, with geometric sojourn times.  Bursts defeat single-error-
   correcting Hamming codes unless an interleaver spreads them, which is the
   behaviour the interleaving experiments demonstrate.
+
+The burst model is vectorized: instead of stepping the two-state Markov
+chain one bit at a time in Python, :meth:`BurstErrorModel.error_pattern`
+classifies every transition draw at once (toggle / force-good / force-bad /
+hold), reconstructs the state sequence with a cumulative scan over those
+events, and samples all error draws in one shot.  The pre-vectorization
+per-bit loop survives as :meth:`BurstErrorModel._error_pattern_reference`;
+both paths consume the random stream identically, so for the same seed they
+produce bit-exact identical patterns (see
+``tests/simulation/test_burst_vectorized.py``).
 """
 
 from __future__ import annotations
@@ -83,7 +93,65 @@ class BurstErrorModel:
         self._in_bad_state = False
 
     def error_pattern(self, num_bits: int) -> np.ndarray:
-        """Generate a burst-correlated error pattern of a given length."""
+        """Generate a burst-correlated error pattern of a given length.
+
+        Vectorized: the per-bit transition draw ``u`` falls into one of
+        three disjoint classes that fully determine the transition without
+        knowing the current state —
+
+        * ``u < min(p_gb, p_bg)``: both transitions trigger, so whatever the
+          state was it flips (*toggle*);
+        * ``min <= u < max``: exactly one transition triggers, so the next
+          state is fixed regardless of the current one (*force* to good when
+          ``p_bg > p_gb``, to bad otherwise);
+        * ``u >= max``: neither triggers (*hold*).
+
+        The state at bit ``i`` is therefore the most recent forced state
+        (or the carried-in state when no force occurred yet) XOR the parity
+        of the toggles since — all computable with cumulative scans.  The
+        random stream is consumed exactly like the per-bit reference loop
+        (:meth:`_error_pattern_reference`), so both produce bit-identical
+        patterns from the same generator state.
+        """
+        if num_bits < 0:
+            raise ConfigurationError("number of bits cannot be negative")
+        uniform = self.rng.random(num_bits * 2).reshape(2, num_bits)
+        if num_bits == 0:
+            return np.zeros(0, dtype=np.uint8)
+
+        p_gb = self.good_to_bad_probability
+        p_bg = self.bad_to_good_probability
+        low, high = min(p_gb, p_bg), max(p_gb, p_bg)
+        transitions = uniform[0]
+        toggle = transitions < low
+        force = (transitions >= low) & (transitions < high)
+        # In the force band exactly the larger-threshold transition fires:
+        # good->bad when p_gb is the larger one, bad->good when p_bg is.
+        forced_state_is_bad = p_gb > p_bg
+
+        indices = np.arange(num_bits)
+        last_force = np.maximum.accumulate(np.where(force, indices, -1))
+        toggles_so_far = np.cumsum(toggle)
+        # Toggles strictly after the last force (force positions never toggle,
+        # so the cumsum at the force index counts only earlier toggles).
+        toggles_at_force = toggles_so_far[np.clip(last_force, 0, None)]
+        toggles_since = np.where(last_force >= 0, toggles_so_far - toggles_at_force, toggles_so_far)
+        base_state = np.where(last_force >= 0, forced_state_is_bad, self._in_bad_state)
+        in_bad_state = base_state.astype(bool) ^ (toggles_since % 2).astype(bool)
+
+        probability = np.where(
+            in_bad_state, self.bad_error_probability, self.good_error_probability
+        )
+        self._in_bad_state = bool(in_bad_state[-1])
+        return (uniform[1] < probability).astype(np.uint8)
+
+    def _error_pattern_reference(self, num_bits: int) -> np.ndarray:
+        """Pre-vectorization per-bit Markov loop, kept as the equivalence oracle.
+
+        Consumes the random stream exactly like :meth:`error_pattern`; the
+        burst-model tests assert bit-exact agreement between the two under a
+        fixed seed, including the carried-over state across calls.
+        """
         if num_bits < 0:
             raise ConfigurationError("number of bits cannot be negative")
         pattern = np.zeros(num_bits, dtype=np.uint8)

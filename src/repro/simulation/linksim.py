@@ -24,7 +24,7 @@ import numpy as np
 
 from ..channel.awgn import OOKAWGNChannel
 from ..coding.base import decode_blocks, encode_blocks
-from ..coding.montecarlo import DEFAULT_BATCH_SIZE
+from ..coding.montecarlo import DEFAULT_BATCH_SIZE, resolve_rng
 from ..config import DEFAULT_CONFIG, PaperConfig
 from ..exceptions import ConfigurationError
 from ..link.design import LinkDesignPoint
@@ -65,13 +65,14 @@ class OpticalLinkSimulator:
         *,
         config: PaperConfig = DEFAULT_CONFIG,
         rng: np.random.Generator | None = None,
+        seed: int | np.random.SeedSequence | None = None,
     ):
         if design_point.signal_power_w <= 0:
             raise ConfigurationError("the design point must carry a positive signal power")
         self._code = code
         self._point = design_point
         self._config = config
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = resolve_rng(rng, seed)
         self._channel = OOKAWGNChannel(
             design_point.signal_power_w,
             crosstalk_power_w=design_point.crosstalk_power_w,

@@ -1,0 +1,191 @@
+"""Tests for the parallel sweep orchestrator: determinism, checkpoints, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.coding.montecarlo import shard_seed_sequences
+from repro.exceptions import ConfigurationError
+from repro.experiments.orchestrator import (
+    available_experiments,
+    checkpoint_path,
+    describe_grid,
+    run_experiment,
+)
+from repro.experiments.report import rows_to_csv
+
+#: Small validation workload so the Monte-Carlo experiments stay test-fast.
+FAST_VALIDATION = {"targets": [1e-3], "num_blocks": 2000, "seed": 7}
+
+
+def _render(result: tuple[str, list[dict]]) -> str:
+    """Text report + CSV rows as one string — the byte-identity criterion."""
+    text, rows = result
+    return text + "\n---\n" + rows_to_csv(rows)
+
+
+class TestGridDescriptors:
+    def test_every_runner_experiment_has_a_grid(self):
+        from repro.experiments.runner import EXPERIMENTS
+
+        assert set(available_experiments()) == set(EXPERIMENTS)
+
+    def test_figure5_shards_chunk_the_ber_axis(self):
+        grid = describe_grid("figure5", options={"target_bers": [1e-3] * 40, "shard_size": 16})
+        per_code = {}
+        for shard in grid.shard_params:
+            per_code.setdefault(shard["code"], []).extend(shard["target_bers"])
+        assert all(len(bers) == 40 for bers in per_code.values())
+
+    def test_validation_shards_carry_their_own_seeds(self):
+        grid = describe_grid("validation", options=FAST_VALIDATION)
+        indices = [shard["spawn_index"] for shard in grid.shard_params]
+        assert indices == list(range(len(grid.shard_params)))
+
+    def test_fingerprint_tracks_the_options(self):
+        base = describe_grid("figure5")
+        dense = describe_grid("figure5", options={"target_bers": [1e-3, 1e-4]})
+        assert base.fingerprint != dense.fingerprint
+        assert base.fingerprint == describe_grid("figure5").fingerprint
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment("not-an-experiment")
+        with pytest.raises(ConfigurationError):
+            run_experiment("figure5", jobs=0)
+
+
+class TestShardSeedSequences:
+    def test_children_match_numpy_spawn(self):
+        import numpy as np
+
+        spawned = np.random.SeedSequence(123).spawn(4)
+        rebuilt = shard_seed_sequences(123, 4)
+        for child, clone in zip(spawned, rebuilt):
+            assert child.generate_state(4).tolist() == clone.generate_state(4).tolist()
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            shard_seed_sequences(1, -1)
+
+
+class TestByteIdenticalParallelism:
+    def test_figure5_parallel_matches_serial(self):
+        serial = run_experiment("figure5")
+        parallel = run_experiment("figure5", jobs=2)
+        assert _render(serial) == _render(parallel)
+
+    def test_validation_parallel_matches_serial(self):
+        serial = run_experiment("validation", options=FAST_VALIDATION)
+        parallel = run_experiment("validation", options=FAST_VALIDATION, jobs=2)
+        assert _render(serial) == _render(parallel)
+
+    def test_run_validation_matches_orchestrated_grid(self):
+        # The direct entry point and the sharded grid must agree exactly,
+        # which is what makes the orchestrator transparent to callers.
+        from repro.experiments.validation import run_validation
+
+        direct = run_validation(targets=(1e-3,), num_blocks=2000, seed=7)
+        text, _ = run_experiment("validation", options=FAST_VALIDATION)
+        assert direct.render_text() == text
+
+
+class TestCheckpointResume:
+    def test_checkpoint_written_and_resumed(self, tmp_path):
+        first = run_experiment(
+            "validation", options=FAST_VALIDATION, checkpoint_dir=str(tmp_path)
+        )
+        path = checkpoint_path(str(tmp_path), "validation")
+        stored = json.loads(open(path, encoding="utf-8").read())
+        assert len(stored["shards"]) == stored["num_shards"]
+
+        resumed = run_experiment(
+            "validation", options=FAST_VALIDATION, checkpoint_dir=str(tmp_path), resume=True
+        )
+        assert _render(first) == _render(resumed)
+
+    def test_partial_checkpoint_completes_missing_shards(self, tmp_path):
+        full = run_experiment(
+            "validation", options=FAST_VALIDATION, checkpoint_dir=str(tmp_path)
+        )
+        path = checkpoint_path(str(tmp_path), "validation")
+        stored = json.loads(open(path, encoding="utf-8").read())
+        stored["shards"] = {
+            index: payload for index, payload in stored["shards"].items() if int(index) % 2 == 0
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(stored, handle)
+
+        resumed = run_experiment(
+            "validation", options=FAST_VALIDATION, checkpoint_dir=str(tmp_path), resume=True
+        )
+        assert _render(full) == _render(resumed)
+
+    def test_stale_fingerprint_is_ignored(self, tmp_path):
+        run_experiment("validation", options=FAST_VALIDATION, checkpoint_dir=str(tmp_path))
+
+        # A different grid (options changed) must not reuse those shards: the
+        # resumed run must equal a fresh computation with the new options,
+        # not the checkpointed payloads of the old grid.
+        other = dict(FAST_VALIDATION, num_blocks=1000)
+        resumed = run_experiment(
+            "validation", options=other, checkpoint_dir=str(tmp_path), resume=True
+        )
+        fresh = run_experiment("validation", options=other)
+        stale = run_experiment("validation", options=FAST_VALIDATION)
+        assert _render(resumed) == _render(fresh)
+        assert _render(resumed) != _render(stale)
+
+    def test_corrupt_checkpoint_is_recomputed(self, tmp_path):
+        reference = run_experiment(
+            "validation", options=FAST_VALIDATION, checkpoint_dir=str(tmp_path)
+        )
+        path = checkpoint_path(str(tmp_path), "validation")
+        stored = json.loads(open(path, encoding="utf-8").read())
+        stored["shards"]["not-an-index"] = {"bogus": True}
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(stored, handle)
+        resumed = run_experiment(
+            "validation", options=FAST_VALIDATION, checkpoint_dir=str(tmp_path), resume=True
+        )
+        assert _render(reference) == _render(resumed)
+
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{not json")
+        recomputed = run_experiment(
+            "validation", options=FAST_VALIDATION, checkpoint_dir=str(tmp_path), resume=True
+        )
+        assert _render(reference) == _render(recomputed)
+
+    def test_resume_without_checkpoint_dir_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment("figure5", resume=True)
+
+
+class TestRunnerCliFlags:
+    def test_jobs_flag_produces_identical_output(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["figure5"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["figure5", "--jobs", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert serial_out == parallel_out
+
+    def test_resume_flag_roundtrip(self, capsys, tmp_path):
+        from repro.experiments.runner import main
+
+        checkpoint = str(tmp_path / "ckpt")
+        assert main(["figure4", "--checkpoint-dir", checkpoint]) == 0
+        first = capsys.readouterr().out
+        assert main(["figure4", "--checkpoint-dir", checkpoint, "--resume"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_bad_jobs_rejected(self):
+        from repro.experiments.runner import main
+
+        with pytest.raises(SystemExit):
+            main(["figure5", "--jobs", "0"])
