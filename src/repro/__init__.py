@@ -29,6 +29,7 @@ Sub-packages
 ``repro.manager``       runtime energy/performance manager and policies
 ``repro.simulation``    bit- and message-level simulators
 ``repro.traffic``       synthetic workload generators
+``repro.netsim``        discrete-event network simulator of the managed ring
 ``repro.experiments``   one module per table/figure of the paper
 """
 
@@ -56,6 +57,7 @@ from .manager import (
     MinimumPowerPolicy,
     OpticalLinkManager,
 )
+from .netsim import NetworkSimulator
 from .photonics import MicroringResonator, Photodetector, VCSELModel, Waveguide
 from .power import channel_power_breakdown, energy_metrics, interconnect_power_summary
 
@@ -83,6 +85,7 @@ __all__ = [
     "CommunicationRequest",
     "MinimumPowerPolicy",
     "MinimumEnergyPolicy",
+    "NetworkSimulator",
     "MicroringResonator",
     "VCSELModel",
     "Photodetector",

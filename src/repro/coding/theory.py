@@ -13,6 +13,9 @@ the first step of that chain:
   used for SECDED/BCH and as a cross-check of Eq. 2.
 * :func:`raw_ber_for_target_output_ber` — numeric inversion: the largest raw
   channel BER a code tolerates while meeting a post-decoding target.
+* :func:`block_error_probability` — probability a whole block leaves the
+  decoder with residual errors (more than ``t`` channel errors), the
+  frame-error rate the packet-level network simulator samples from.
 * :func:`undetected_error_probability_upper_bound` — detection-oriented
   bound used by the retransmission policies.
 
@@ -27,6 +30,7 @@ from typing import Protocol
 import numpy as np
 from scipy.optimize import brentq
 from scipy.special import comb
+from scipy.stats import binom
 
 from ..exceptions import ConfigurationError
 
@@ -36,6 +40,7 @@ __all__ = [
     "coded_ber_bounded_distance",
     "output_ber",
     "raw_ber_for_target_output_ber",
+    "block_error_probability",
     "undetected_error_probability_upper_bound",
 ]
 
@@ -157,6 +162,43 @@ def raw_ber_for_target_output_ber(code: _CodeLike, target_ber: float) -> float:
         high = min(0.499, high * 1.2)
     root = brentq(objective, low, high, xtol=1e-18, rtol=1e-12)
     return float(root)
+
+
+def block_error_probability(
+    raw_ber: float, block_length: int, correctable_errors: int
+) -> float:
+    """Probability a decoded block still carries errors (frame error rate).
+
+    A ``t``-error-correcting bounded-distance decoder repairs every pattern
+    of at most ``t`` channel errors, so a block fails exactly when more than
+    ``t`` of its ``n`` bits flip:
+
+    ``P_block = 1 - sum_{i=0}^{t} C(n, i) p^i (1-p)^{n-i}``
+
+    For perfect codes (Hamming) this is exact: any heavier pattern is
+    "corrected" towards a wrong codeword whose message part necessarily
+    differs from the transmitted one.  For ``t = 0`` it degenerates to the
+    probability of at least one raw error.  This is the per-block failure
+    probability the probabilistic mode of :mod:`repro.netsim` samples packet
+    outcomes from.
+
+    Evaluated through the binomial survival function rather than
+    ``1 - head-sum``, so deep operating points (raw BERs of 1e-7 and below,
+    where the tail drops under double-precision epsilon of 1) keep their
+    relative accuracy instead of cancelling to zero.
+    """
+    if not 0.0 <= raw_ber <= 1.0:
+        raise ConfigurationError("raw BER must lie in [0, 1]")
+    if block_length < 1:
+        raise ConfigurationError("block length must be positive")
+    if correctable_errors < 0:
+        raise ConfigurationError("correctable_errors must be non-negative")
+    p = float(raw_ber)
+    if p == 0.0:
+        return 0.0
+    n = block_length
+    t = min(correctable_errors, n)
+    return float(min(1.0, max(0.0, binom.sf(t, n, p))))
 
 
 def undetected_error_probability_upper_bound(

@@ -23,6 +23,7 @@ figure6a  Channel power breakdown per wavelength at BER 1e-11 (Figure 6a)
 figure6b  Power vs communication-time Pareto trade-off (Figure 6b)
 headline  Headline claims: ~50% laser power cut, 92% laser share, 22 W saved
 validation Monte-Carlo validation of Eq. 2/3 with the batched link simulator
+network   Discrete-event load sweep of the managed ring (pattern x rate x policy)
 ======== ==================================================================
 """
 
@@ -34,6 +35,7 @@ from .figure5 import Figure5Result, run_figure5
 from .figure6 import Figure6aResult, Figure6bResult, run_figure6a, run_figure6b
 from .headline import HeadlineResult, run_headline
 from .calibration import CalibrationSummary, run_calibration
+from .network import NetworkSweepResult, run_network
 from .validation import ValidationPoint, ValidationResult, run_validation
 
 __all__ = [
@@ -60,4 +62,6 @@ __all__ = [
     "ValidationPoint",
     "ValidationResult",
     "run_validation",
+    "NetworkSweepResult",
+    "run_network",
 ]

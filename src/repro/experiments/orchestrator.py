@@ -46,7 +46,17 @@ from typing import Any, Callable, Dict, List, Sequence
 
 from ..config import DEFAULT_CONFIG, PaperConfig
 from ..exceptions import ConfigurationError
-from . import calibration, figure3, figure4, figure5, figure6, headline, table1, validation
+from . import (
+    calibration,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    headline,
+    network,
+    table1,
+    validation,
+)
 
 __all__ = [
     "GridFunctions",
@@ -92,6 +102,7 @@ _GRIDS: Dict[str, GridFunctions] = {
     "calibration": GridFunctions(
         calibration.sweep_shards, calibration.run_sweep_shard, calibration.merge_sweep
     ),
+    "network": GridFunctions(network.sweep_shards, network.run_sweep_shard, network.merge_sweep),
 }
 
 

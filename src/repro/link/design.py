@@ -83,6 +83,13 @@ class OpticalLinkDesigner:
         if self.budget is None:
             self.budget = LinkPowerBudget(config=self.config)
         self._detector = Photodetector.from_config(self.config)
+        # Solved operating points, keyed by code identity and target.  The
+        # solve chain (crosstalk scan + two brentq inversions) costs
+        # milliseconds, and request-rate consumers (the runtime manager, the
+        # network simulator) ask for the same handful of (code, target)
+        # pairs millions of times; LinkDesignPoint is frozen, so sharing the
+        # instance is safe.
+        self._point_cache: dict = {}
 
     # ------------------------------------------------------------------ solving
     def required_laser_output_power(self, code, target_ber: float) -> float:
@@ -96,6 +103,9 @@ class OpticalLinkDesigner:
         with ``G_sig`` the signal-path transmission and ``xt`` the crosstalk
         ratio, which is inverted directly.
         """
+        return self.design_point(code, target_ber).laser_output_power_w
+
+    def _solve_laser_output_power(self, code, target_ber: float) -> float:
         snr = required_snr(code, target_ber)
         transmission = self.budget.signal_transmission
         crosstalk_ratio = self.budget.crosstalk_ratio
@@ -106,17 +116,26 @@ class OpticalLinkDesigner:
         return required_received / effective
 
     def design_point(self, code, target_ber: float) -> LinkDesignPoint:
-        """Solve the full operating point for one code and target BER.
+        """Solve the full operating point for one code and target BER (memoized).
 
         Infeasible points (laser rating exceeded) are returned with
         ``feasible=False`` and the electrical power the laser *would* need
         according to the droop model, so sweeps can still plot them.
         """
+        key = (getattr(code, "name", type(code).__name__), code.n, code.k, float(target_ber))
+        cached = self._point_cache.get(key)
+        if cached is not None:
+            return cached
+        point = self._solve_design_point(code, target_ber)
+        self._point_cache[key] = point
+        return point
+
+    def _solve_design_point(self, code, target_ber: float) -> LinkDesignPoint:
         if not 0.0 < target_ber < 0.5:
             raise ConfigurationError("target BER must lie in (0, 0.5)")
         raw = required_raw_ber(code, target_ber)
         snr = required_snr(code, target_ber)
-        op_laser = self.required_laser_output_power(code, target_ber)
+        op_laser = self._solve_laser_output_power(code, target_ber)
         signal = self.budget.received_signal_power(op_laser)
         crosstalk = self.budget.received_crosstalk_power(op_laser)
         feasible = self.laser.can_deliver(op_laser)

@@ -136,6 +136,9 @@ class OpticalLinkManager:
             ]
         decision = policy.select(candidates, config=self._config)
         code = next(c for c in self._codes if c.name == decision.code_name)
+        # The designer memoizes the solved operating point per (code,
+        # target), so request-rate simulation does not re-run the
+        # crosstalk/brentq chain per transfer.
         laser_output = self._designer.required_laser_output_power(code, request.target_ber)
         configuration = LinkConfiguration(
             request=request,

@@ -1,0 +1,437 @@
+"""Discrete-event simulation of the full MWSR ring under managed traffic.
+
+This is the subsystem that joins the layers the repository previously only
+evaluated in isolation: traffic generators produce requests, each request is
+configured by the :class:`~repro.manager.manager.OpticalLinkManager` (policy
+picks the ECC scheme and laser power for the requested BER), the coded
+payload contends for its destination's channel through a per-channel
+:class:`~repro.interconnect.arbitration.TokenArbiter`, faults corrupt the
+packets at the operating point's raw BER, and CRC-detected failures are
+retransmitted (ARQ) until delivered or out of retries.
+
+Event lifecycle of one transfer::
+
+    ARRIVAL(t)                 request reaches its source ONI
+      └─ manager.configure()   policy selects code + laser power
+      └─ arbiter.request()     token + channel reservation on the reader's
+                               channel (FIFO in event order)
+      └─ schedule DEPARTURE at start + serialization time
+    DEPARTURE(t')              attempt finishes serialising
+      └─ sample packet outcomes (probabilistic or bit-exact)
+      ├─ CRC-detected failures left and retries remain
+      │    └─ arbiter.request() again → schedule next DEPARTURE (ARQ)
+      └─ otherwise finalise the record, release the manager entry
+
+Determinism: the event queue is totally ordered by ``(time, insertion
+sequence)`` and every random draw — traffic aside — flows through one
+``SeedSequence``-resolved generator in pop order, so a run is a pure
+function of its seed.  There is no wall-clock anywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from ..coding.montecarlo import resolve_rng
+from ..coding.crc import CyclicRedundancyCheck
+from ..config import DEFAULT_CONFIG, PaperConfig
+from ..exceptions import ConfigurationError, InfeasibleDesignError
+from ..interconnect.arbitration import TokenArbiter
+from ..interconnect.mwsr import MWSRChannel
+from ..link.design import OpticalLinkDesigner
+from ..manager.manager import CommunicationRequest, LinkConfiguration, OpticalLinkManager
+from ..manager.policies import SelectionPolicy
+from ..simulation.faults import IndependentErrorModel
+from ..traffic.generators import TrafficRequest
+from .events import EventKind, EventQueue
+from .metrics import NetworkMetrics, compute_metrics
+from .outcomes import (
+    BitExactOutcomeSampler,
+    ProbabilisticOutcomeSampler,
+    packets_for_payload,
+)
+
+__all__ = ["NetTransferRecord", "NetworkResult", "NetworkSimulator"]
+
+#: Supported packet-outcome modes.
+MODES = ("probabilistic", "bit-exact")
+
+
+@dataclass(frozen=True)
+class NetTransferRecord:
+    """End-to-end outcome of one traffic request."""
+
+    source: int
+    destination: int
+    payload_bits: int
+    code_name: str | None
+    arrival_time_s: float
+    first_start_time_s: float
+    completion_time_s: float
+    attempts: int
+    packets_total: int
+    packets_sent: int
+    packets_delivered: int
+    packets_dropped: int
+    packets_with_residual_errors: int
+    residual_bit_errors: int
+    coded_bits_sent: int
+    energy_j: float
+    rejected: bool = False
+
+    @property
+    def latency_s(self) -> float:
+        """Arrival-to-delivery latency (queueing + token + serialisation + ARQ)."""
+        return self.completion_time_s - self.arrival_time_s
+
+    @property
+    def delivered_payload_bits(self) -> int:
+        """Payload bits delivered (padding of the last packet excluded)."""
+        if self.packets_total == 0:
+            return 0
+        return round(self.payload_bits * self.packets_delivered / self.packets_total)
+
+
+@dataclass
+class NetworkResult:
+    """Everything a run produced: per-transfer records plus channel state."""
+
+    records: List[NetTransferRecord]
+    busy_s_by_reader: Dict[int, float]
+    grant_counts_by_reader: Dict[int, Dict[int, int]]
+    num_channels: int
+    warmup_fraction: float
+    events_processed: int
+
+    def metrics(self, warmup_fraction: float | None = None) -> NetworkMetrics:
+        """Aggregate the records (optionally overriding the warm-up trim)."""
+        return compute_metrics(
+            self.records,
+            busy_s_by_reader=self.busy_s_by_reader,
+            num_channels=self.num_channels,
+            warmup_fraction=(
+                self.warmup_fraction if warmup_fraction is None else warmup_fraction
+            ),
+        )
+
+    @property
+    def packets_sent(self) -> int:
+        """Total packet transmissions of the run (ARQ retries included)."""
+        return sum(record.packets_sent for record in self.records)
+
+
+@dataclass
+class _RunState:
+    """Per-run mutable state shared by the event handlers."""
+
+    queue: EventQueue = field(default_factory=EventQueue)
+    arbiters: Dict[int, TokenArbiter] = field(default_factory=dict)
+    busy_s: Dict[int, float] = field(default_factory=dict)
+    records: List[NetTransferRecord] = field(default_factory=list)
+    #: In-flight transfers per (source, destination) pair.  The manager
+    #: keys its active-configuration table by pair, so with overlapping
+    #: same-pair transfers only the *last* completion may release the
+    #: entry — otherwise an earlier completion would drop the
+    #: configuration of a transfer still occupying the channel.
+    active_pairs: Dict[tuple, int] = field(default_factory=dict)
+
+
+@dataclass
+class _TransferState:
+    """Mutable bookkeeping of one in-flight transfer."""
+
+    request: TrafficRequest
+    configuration: LinkConfiguration
+    sampler: object
+    packets_total: int
+    packets_remaining: int
+    retries_left: int
+    first_start_s: float = -1.0
+    attempts: int = 0
+    packets_sent: int = 0
+    packets_delivered: int = 0
+    packets_with_residual_errors: int = 0
+    residual_bit_errors: int = 0
+    coded_bits_sent: int = 0
+    energy_j: float = 0.0
+
+
+class NetworkSimulator:
+    """Discrete-event simulator of the managed MWSR ring.
+
+    Parameters
+    ----------
+    config:
+        Interconnect parameters (ONI count, wavelengths, rates).
+    manager:
+        A pre-built :class:`OpticalLinkManager`; one is constructed from
+        ``config`` when omitted.  Sharing a manager across runs keeps its
+        per-target candidate cache warm.
+    policy:
+        Selection policy attached to every request (``None`` keeps the
+        manager's default).
+    mode:
+        ``"probabilistic"`` (analytic frame-error sampling, the fast
+        default) or ``"bit-exact"`` (real codewords through the batch
+        coding API, for cross-validation).
+    packet_bits:
+        Payload bits per packet; payloads are split and zero padded.
+    crc:
+        Name of the per-packet CRC (see
+        :class:`~repro.coding.crc.CyclicRedundancyCheck`) or ``None`` to
+        disable detection — without a CRC there is no ARQ and every failed
+        packet is delivered carrying residual errors.
+    max_retries:
+        ARQ retransmission budget per transfer; once exhausted the still
+        failing packets are dropped.
+    fault_model:
+        Optional shared fault-injection model (e.g. a
+        :class:`~repro.simulation.faults.BurstErrorModel`).  The default
+        injects independent flips at each configuration's design-point raw
+        BER.  In probabilistic mode a custom model contributes its
+        ``expected_ber`` (burst correlation is only visible bit-exactly).
+    rng / seed:
+        The usual seeding vocabulary (:func:`resolve_rng`); pass at most
+        one.  Everything stochastic inside the engine draws from this
+        single generator in event order.
+    warmup_fraction:
+        Leading fraction of completed transfers excluded from the latency
+        summary (queues fill during warm-up).
+    """
+
+    def __init__(
+        self,
+        *,
+        config: PaperConfig = DEFAULT_CONFIG,
+        manager: OpticalLinkManager | None = None,
+        policy: SelectionPolicy | None = None,
+        mode: str = "probabilistic",
+        packet_bits: int = 512,
+        crc: str | None = "crc16-ccitt",
+        max_retries: int = 4,
+        fault_model=None,
+        rng: np.random.Generator | None = None,
+        seed: int | np.random.SeedSequence | None = None,
+        warmup_fraction: float = 0.1,
+    ):
+        if mode not in MODES:
+            raise ConfigurationError(f"unknown mode {mode!r}; available: {MODES}")
+        if packet_bits < 1:
+            raise ConfigurationError("packet size must be at least one bit")
+        if max_retries < 0:
+            raise ConfigurationError("retry budget cannot be negative")
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ConfigurationError("warm-up fraction must lie in [0, 1)")
+        self.config = config
+        self.manager = manager if manager is not None else OpticalLinkManager(config=config)
+        self.policy = policy
+        self.mode = mode
+        self.packet_bits = int(packet_bits)
+        self.crc = CyclicRedundancyCheck.from_name(crc) if crc is not None else None
+        self.max_retries = int(max_retries)
+        self.warmup_fraction = float(warmup_fraction)
+        self._fault_model = fault_model
+        self._rng = resolve_rng(rng, seed)
+        self._designer = OpticalLinkDesigner(config=config)
+        self._codes_by_name = {code.name: code for code in self.manager.codes}
+        self._samplers: Dict[tuple, object] = {}
+
+    # ------------------------------------------------------------------ helpers
+    @property
+    def channel_rate_bits_per_s(self) -> float:
+        """Serialisation rate of one waveguide group (NW wavelengths at Fmod)."""
+        return self.config.num_wavelengths * self.config.modulation_rate_hz
+
+    def _arbiter_for(self, reader: int, arbiters: Dict[int, TokenArbiter]) -> TokenArbiter:
+        if reader not in arbiters:
+            channel = MWSRChannel(reader=reader, config=self.config)
+            arbiters[reader] = TokenArbiter(writers=channel.writers)
+        return arbiters[reader]
+
+    def _raw_ber_for(self, configuration: LinkConfiguration) -> float:
+        """Raw channel BER of the selected operating point.
+
+        The designer memoizes the solved point per (code, target), so this
+        is a dictionary lookup after the first request.
+        """
+        code = self._codes_by_name[configuration.code_name]
+        point = self._designer.design_point(code, configuration.request.target_ber)
+        return float(point.raw_channel_ber)
+
+    def _sampler_for(self, configuration: LinkConfiguration):
+        """Outcome sampler of one (code, target BER) configuration (cached)."""
+        key = (configuration.code_name, float(configuration.request.target_ber))
+        if key not in self._samplers:
+            code = self._codes_by_name[configuration.code_name]
+            raw_ber = (
+                float(self._fault_model.expected_ber)
+                if self._fault_model is not None
+                else self._raw_ber_for(configuration)
+            )
+            if self.mode == "probabilistic":
+                sampler = ProbabilisticOutcomeSampler(
+                    code,
+                    raw_ber,
+                    packet_bits=self.packet_bits,
+                    crc_width=self.crc.width if self.crc is not None else 0,
+                    rng=self._rng,
+                )
+            else:
+                error_model = (
+                    self._fault_model
+                    if self._fault_model is not None
+                    else IndependentErrorModel(raw_ber, rng=self._rng)
+                )
+                sampler = BitExactOutcomeSampler(
+                    code,
+                    error_model,
+                    packet_bits=self.packet_bits,
+                    crc=self.crc,
+                    rng=self._rng,
+                )
+            self._samplers[key] = sampler
+        return self._samplers[key]
+
+    # ------------------------------------------------------------------ simulation
+    def run(self, requests: Iterable[TrafficRequest]) -> NetworkResult:
+        """Simulate a finite request sequence to completion."""
+        run = _RunState()
+        count = 0
+        for request in requests:
+            run.queue.push(request.arrival_time_s, EventKind.ARRIVAL, request)
+            count += 1
+        if count == 0:
+            raise ConfigurationError("a simulation needs at least one request")
+
+        for event in run.queue.drain():
+            if event.kind is EventKind.ARRIVAL:
+                self._handle_arrival(event.time_s, event.payload, run)
+            else:
+                self._handle_departure(event.time_s, event.payload, run)
+
+        return NetworkResult(
+            records=run.records,
+            busy_s_by_reader=run.busy_s,
+            grant_counts_by_reader={
+                reader: arbiter.grant_counts()
+                for reader, arbiter in sorted(run.arbiters.items())
+            },
+            num_channels=self.config.num_onis,
+            warmup_fraction=self.warmup_fraction,
+            events_processed=run.queue.events_processed,
+        )
+
+    def _handle_arrival(self, now_s, request, run: _RunState) -> None:
+        communication = CommunicationRequest(
+            source=request.source,
+            destination=request.destination,
+            target_ber=request.target_ber,
+            payload_bits=request.payload_bits,
+            policy=self.policy,
+        )
+        try:
+            configuration = self.manager.configure(communication)
+        except InfeasibleDesignError:
+            run.records.append(
+                NetTransferRecord(
+                    source=request.source,
+                    destination=request.destination,
+                    payload_bits=request.payload_bits,
+                    code_name=None,
+                    arrival_time_s=now_s,
+                    first_start_time_s=now_s,
+                    completion_time_s=now_s,
+                    attempts=0,
+                    packets_total=0,
+                    packets_sent=0,
+                    packets_delivered=0,
+                    packets_dropped=0,
+                    packets_with_residual_errors=0,
+                    residual_bit_errors=0,
+                    coded_bits_sent=0,
+                    energy_j=0.0,
+                    rejected=True,
+                )
+            )
+            return
+        packets = packets_for_payload(request.payload_bits, self.packet_bits)
+        state = _TransferState(
+            request=request,
+            configuration=configuration,
+            sampler=self._sampler_for(configuration),
+            packets_total=packets,
+            packets_remaining=packets,
+            retries_left=self.max_retries if self.crc is not None else 0,
+        )
+        pair = (request.source, request.destination)
+        run.active_pairs[pair] = run.active_pairs.get(pair, 0) + 1
+        self._schedule_attempt(state, now_s, run)
+
+    def _schedule_attempt(self, state, now_s, run: _RunState) -> None:
+        """Reserve the destination channel for one attempt and time its end.
+
+        The arbiter grants in request order (the event loop guarantees
+        requests are issued in simulation-time order), charges the token
+        hops from the current holder and queues behind the channel's busy
+        window; the attempt's DEPARTURE fires when serialisation completes.
+        """
+        duration_s = (
+            state.packets_remaining
+            * state.sampler.coded_bits_per_packet
+            / self.channel_rate_bits_per_s
+        )
+        arbiter = self._arbiter_for(state.request.destination, run.arbiters)
+        start_s = arbiter.request(state.request.source, now_s, duration_s)
+        if state.first_start_s < 0.0:
+            state.first_start_s = start_s
+        state.attempts += 1
+        state.packets_sent += state.packets_remaining
+        state.coded_bits_sent += state.packets_remaining * state.sampler.coded_bits_per_packet
+        channel_power_w = (
+            state.configuration.channel_power_w * self.config.num_wavelengths
+        )
+        state.energy_j += channel_power_w * duration_s
+        run.busy_s[state.request.destination] = (
+            run.busy_s.get(state.request.destination, 0.0) + duration_s
+        )
+        run.queue.push(start_s + duration_s, EventKind.DEPARTURE, state)
+
+    def _handle_departure(self, now_s, state, run: _RunState) -> None:
+        outcome = state.sampler.sample(state.packets_remaining)
+        state.packets_delivered += outcome.delivered
+        state.packets_with_residual_errors += outcome.delivered_with_errors
+        state.residual_bit_errors += outcome.residual_bit_errors
+        if outcome.failed_detected and state.retries_left > 0:
+            state.retries_left -= 1
+            state.packets_remaining = outcome.failed_detected
+            self._schedule_attempt(state, now_s, run)
+            return
+        request = state.request
+        run.records.append(
+            NetTransferRecord(
+                source=request.source,
+                destination=request.destination,
+                payload_bits=request.payload_bits,
+                code_name=state.configuration.code_name,
+                arrival_time_s=request.arrival_time_s,
+                first_start_time_s=state.first_start_s,
+                completion_time_s=now_s,
+                attempts=state.attempts,
+                packets_total=state.packets_total,
+                packets_sent=state.packets_sent,
+                packets_delivered=state.packets_delivered,
+                packets_dropped=outcome.failed_detected,
+                packets_with_residual_errors=state.packets_with_residual_errors,
+                residual_bit_errors=state.residual_bit_errors,
+                coded_bits_sent=state.coded_bits_sent,
+                energy_j=state.energy_j,
+            )
+        )
+        pair = (request.source, request.destination)
+        run.active_pairs[pair] -= 1
+        if run.active_pairs[pair] == 0:
+            del run.active_pairs[pair]
+            self.manager.release(request.source, request.destination)

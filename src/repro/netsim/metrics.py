@@ -1,0 +1,220 @@
+"""Aggregate statistics of a network simulation run.
+
+The engine records one :class:`~repro.netsim.engine.NetTransferRecord` per
+transfer; this module reduces those records to the numbers a load sweep
+plots: latency percentiles with warm-up trimming, per-channel utilisation,
+offered vs delivered throughput, energy per delivered bit and the
+packet-level error/retransmission accounting.  Everything returned is a
+plain Python scalar so the results serialise straight into the sweep
+orchestrator's JSON payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["LatencySummary", "NetworkMetrics", "nearest_rank_percentile", "compute_metrics"]
+
+
+def nearest_rank_percentile(sorted_samples: np.ndarray, percentile: float) -> float:
+    """Nearest-rank percentile of an ascending sample vector.
+
+    Deterministic and interpolation-free, so serial and sharded sweeps
+    report byte-identical values.
+    """
+    if not 0.0 <= percentile <= 100.0:
+        raise ConfigurationError("percentile must lie in [0, 100]")
+    if sorted_samples.size == 0:
+        return 0.0
+    rank = int(np.ceil(percentile / 100.0 * sorted_samples.size))
+    return float(sorted_samples[max(rank, 1) - 1])
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Latency distribution of the post-warm-up transfers."""
+
+    count: int
+    mean_s: float
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    min_s: float
+    max_s: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "LatencySummary":
+        """Summarise a latency sample vector (empty vectors give zeros)."""
+        values = np.sort(np.asarray(list(samples), dtype=float))
+        if values.size == 0:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        return cls(
+            count=int(values.size),
+            mean_s=float(values.mean()),
+            p50_s=nearest_rank_percentile(values, 50.0),
+            p95_s=nearest_rank_percentile(values, 95.0),
+            p99_s=nearest_rank_percentile(values, 99.0),
+            min_s=float(values[0]),
+            max_s=float(values[-1]),
+        )
+
+    def as_dict(self) -> dict:
+        """Plain-scalar view for JSON payloads."""
+        return {
+            "count": self.count,
+            "mean_s": self.mean_s,
+            "p50_s": self.p50_s,
+            "p95_s": self.p95_s,
+            "p99_s": self.p99_s,
+            "min_s": self.min_s,
+            "max_s": self.max_s,
+        }
+
+
+@dataclass(frozen=True)
+class NetworkMetrics:
+    """Network-level figures of one simulation run."""
+
+    transfers_completed: int
+    transfers_rejected: int
+    warmup_transfers_trimmed: int
+    latency: LatencySummary
+    sim_end_time_s: float
+    offered_payload_bits: int
+    delivered_payload_bits: int
+    offered_throughput_bits_per_s: float
+    delivered_throughput_bits_per_s: float
+    channel_utilization: Dict[int, float]
+    total_energy_j: float
+    packets_sent: int
+    packets_delivered: int
+    packets_dropped: int
+    packets_with_residual_errors: int
+    residual_bit_errors: int
+
+    @property
+    def mean_channel_utilization(self) -> float:
+        """Average busy fraction over every channel of the ring."""
+        if not self.channel_utilization:
+            return 0.0
+        return sum(self.channel_utilization.values()) / len(self.channel_utilization)
+
+    @property
+    def peak_channel_utilization(self) -> float:
+        """Busy fraction of the most loaded channel (the hotspot's reader)."""
+        if not self.channel_utilization:
+            return 0.0
+        return max(self.channel_utilization.values())
+
+    @property
+    def energy_per_delivered_bit_j(self) -> float:
+        """Channel energy per delivered payload bit."""
+        if self.delivered_payload_bits == 0:
+            return 0.0
+        return self.total_energy_j / self.delivered_payload_bits
+
+    @property
+    def retransmission_rate(self) -> float:
+        """Fraction of packet transmissions that were ARQ retries."""
+        if self.packets_sent == 0:
+            return 0.0
+        first_attempts = self.packets_delivered + self.packets_dropped
+        return max(0, self.packets_sent - first_attempts) / self.packets_sent
+
+    @property
+    def delivered_packet_error_rate(self) -> float:
+        """Fraction of delivered packets still carrying residual errors."""
+        if self.packets_delivered == 0:
+            return 0.0
+        return self.packets_with_residual_errors / self.packets_delivered
+
+    @property
+    def delivered_bit_error_rate(self) -> float:
+        """Residual payload-bit error rate over everything delivered."""
+        if self.delivered_payload_bits == 0:
+            return 0.0
+        return self.residual_bit_errors / self.delivered_payload_bits
+
+    def as_dict(self) -> dict:
+        """Flat plain-scalar dictionary (JSON/CSV friendly)."""
+        return {
+            "transfers_completed": self.transfers_completed,
+            "transfers_rejected": self.transfers_rejected,
+            "warmup_transfers_trimmed": self.warmup_transfers_trimmed,
+            "latency_mean_s": self.latency.mean_s,
+            "latency_p50_s": self.latency.p50_s,
+            "latency_p95_s": self.latency.p95_s,
+            "latency_p99_s": self.latency.p99_s,
+            "sim_end_time_s": self.sim_end_time_s,
+            "offered_gbps": self.offered_throughput_bits_per_s / 1e9,
+            "delivered_gbps": self.delivered_throughput_bits_per_s / 1e9,
+            "mean_utilization": self.mean_channel_utilization,
+            "peak_utilization": self.peak_channel_utilization,
+            "energy_per_bit_pj": self.energy_per_delivered_bit_j * 1e12,
+            "packets_sent": self.packets_sent,
+            "packets_delivered": self.packets_delivered,
+            "packets_dropped": self.packets_dropped,
+            "retransmission_rate": self.retransmission_rate,
+            "delivered_packet_error_rate": self.delivered_packet_error_rate,
+            "delivered_bit_error_rate": self.delivered_bit_error_rate,
+        }
+
+
+def compute_metrics(
+    records: Sequence,
+    *,
+    busy_s_by_reader: Mapping[int, float],
+    num_channels: int,
+    warmup_fraction: float,
+) -> NetworkMetrics:
+    """Reduce the engine's transfer records to :class:`NetworkMetrics`.
+
+    ``records`` is every :class:`~repro.netsim.engine.NetTransferRecord` of
+    the run (rejected ones included); the first ``warmup_fraction`` of the
+    completed transfers — in arrival order — are excluded from the latency
+    summary but still count towards throughput, energy and packet totals.
+    """
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ConfigurationError("warm-up fraction must lie in [0, 1)")
+    completed = sorted(
+        (record for record in records if not record.rejected),
+        key=lambda record: (record.arrival_time_s, record.completion_time_s),
+    )
+    rejected = sum(1 for record in records if record.rejected)
+    trimmed = int(len(completed) * warmup_fraction)
+    latency = LatencySummary.from_samples(
+        [record.latency_s for record in completed[trimmed:]]
+    )
+
+    sim_end = max((record.completion_time_s for record in records), default=0.0)
+    offered = sum(record.payload_bits for record in records)
+    delivered = sum(record.delivered_payload_bits for record in completed)
+    utilization = {
+        reader: (busy_s_by_reader.get(reader, 0.0) / sim_end if sim_end > 0 else 0.0)
+        for reader in range(num_channels)
+    }
+    return NetworkMetrics(
+        transfers_completed=len(completed),
+        transfers_rejected=rejected,
+        warmup_transfers_trimmed=trimmed,
+        latency=latency,
+        sim_end_time_s=float(sim_end),
+        offered_payload_bits=int(offered),
+        delivered_payload_bits=int(delivered),
+        offered_throughput_bits_per_s=(offered / sim_end if sim_end > 0 else 0.0),
+        delivered_throughput_bits_per_s=(delivered / sim_end if sim_end > 0 else 0.0),
+        channel_utilization=utilization,
+        total_energy_j=float(sum(record.energy_j for record in completed)),
+        packets_sent=int(sum(record.packets_sent for record in completed)),
+        packets_delivered=int(sum(record.packets_delivered for record in completed)),
+        packets_dropped=int(sum(record.packets_dropped for record in completed)),
+        packets_with_residual_errors=int(
+            sum(record.packets_with_residual_errors for record in completed)
+        ),
+        residual_bit_errors=int(sum(record.residual_bit_errors for record in completed)),
+    )

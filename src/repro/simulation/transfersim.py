@@ -21,6 +21,7 @@ from typing import Iterable, List
 import numpy as np
 
 from ..coding.base import decode_blocks, encode_blocks
+from ..coding.montecarlo import resolve_rng
 from ..config import DEFAULT_CONFIG, PaperConfig
 from ..exceptions import ConfigurationError
 from ..interconnect.arbitration import TokenArbiter
@@ -72,6 +73,7 @@ class MessageTransferSimulator:
     channel_power_w: float = 0.0
     config: PaperConfig = field(default_factory=lambda: DEFAULT_CONFIG)
     rng: np.random.Generator | None = None
+    seed: int | np.random.SeedSequence | None = None
     batch_size: int = 4096
 
     def __post_init__(self) -> None:
@@ -81,8 +83,7 @@ class MessageTransferSimulator:
             raise ConfigurationError("channel power cannot be negative")
         if self.batch_size < 1:
             raise ConfigurationError("batch size must be at least 1")
-        if self.rng is None:
-            self.rng = np.random.default_rng()
+        self.rng = resolve_rng(self.rng, self.seed)
         self._arbiter = TokenArbiter(writers=self.channel.writers)
         self._errors = IndependentErrorModel(self.raw_ber, rng=self.rng)
         self.latency_stats = StreamingStatistics()

@@ -4,6 +4,11 @@ Each generator yields :class:`TrafficRequest` objects (source, destination,
 payload size, arrival time, BER requirement) that the manager/runtime
 simulation can consume directly.  Arrival processes are Poisson with a
 configurable mean rate; destinations follow the generator's spatial pattern.
+
+Every generator accepts the shared seeding vocabulary: pass either a
+ready-made ``rng`` or a ``seed`` (int or :class:`numpy.random.SeedSequence`,
+resolved through :func:`repro.coding.montecarlo.resolve_rng`), so sharded
+network sweeps can rebuild a generator's stream from its grid position.
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ from typing import Iterator
 
 import numpy as np
 
+from ..coding.montecarlo import resolve_rng
 from ..exceptions import ConfigurationError
 
 __all__ = [
@@ -54,6 +60,7 @@ class _BaseGenerator:
         payload_bits: int,
         target_ber: float,
         rng: np.random.Generator | None = None,
+        seed: int | np.random.SeedSequence | None = None,
     ):
         if num_onis < 2:
             raise ConfigurationError("traffic needs at least two ONIs")
@@ -65,7 +72,7 @@ class _BaseGenerator:
         self._rate = mean_request_rate_hz
         self._payload_bits = payload_bits
         self._target_ber = target_ber
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = resolve_rng(rng, seed)
 
     def _next_arrival(self, now_s: float) -> float:
         return now_s + float(self._rng.exponential(1.0 / self._rate))
@@ -109,6 +116,7 @@ class UniformTrafficGenerator(_BaseGenerator):
         payload_bits: int = 512,
         target_ber: float = 1e-9,
         rng: np.random.Generator | None = None,
+        seed: int | np.random.SeedSequence | None = None,
     ):
         super().__init__(
             num_onis,
@@ -116,6 +124,7 @@ class UniformTrafficGenerator(_BaseGenerator):
             payload_bits=payload_bits,
             target_ber=target_ber,
             rng=rng,
+            seed=seed,
         )
 
     def _pick_destination(self, source: int) -> int:
@@ -138,6 +147,7 @@ class HotspotTrafficGenerator(_BaseGenerator):
         payload_bits: int = 512,
         target_ber: float = 1e-9,
         rng: np.random.Generator | None = None,
+        seed: int | np.random.SeedSequence | None = None,
     ):
         super().__init__(
             num_onis,
@@ -145,6 +155,7 @@ class HotspotTrafficGenerator(_BaseGenerator):
             payload_bits=payload_bits,
             target_ber=target_ber,
             rng=rng,
+            seed=seed,
         )
         if not 0 <= hotspot < num_onis:
             raise ConfigurationError("hotspot index outside the ONI range")
@@ -175,6 +186,7 @@ class BurstyTrafficGenerator(_BaseGenerator):
         target_ber: float = 1e-6,
         frame_deadline_s: float | None = 1.0 / 30.0,
         rng: np.random.Generator | None = None,
+        seed: int | np.random.SeedSequence | None = None,
     ):
         super().__init__(
             num_onis,
@@ -182,6 +194,7 @@ class BurstyTrafficGenerator(_BaseGenerator):
             payload_bits=frame_bits,
             target_ber=target_ber,
             rng=rng,
+            seed=seed,
         )
         if burstiness < 1.0:
             raise ConfigurationError("burstiness must be at least 1.0")

@@ -8,6 +8,7 @@ import pytest
 from repro.coding.hamming import HammingCode, ShortenedHammingCode
 from repro.coding.montecarlo import estimate_ber_monte_carlo
 from repro.coding.theory import (
+    block_error_probability,
     code_rate,
     coded_ber_bounded_distance,
     hamming_output_ber,
@@ -160,6 +161,51 @@ class TestUndetectedErrorBound:
             undetected_error_probability_upper_bound(0.1, 7, 0)
         with pytest.raises(ConfigurationError):
             undetected_error_probability_upper_bound(0.1, 7, 8)
+
+
+class TestBlockErrorProbability:
+    def test_matches_binomial_tail_for_hamming(self):
+        # P(> 1 error in 7 bits) computed directly.
+        p = 0.05
+        exact = 1.0 - (1.0 - p) ** 7 - 7 * p * (1.0 - p) ** 6
+        assert block_error_probability(p, 7, 1) == pytest.approx(exact, rel=1e-12)
+
+    def test_uncoded_is_at_least_one_error(self):
+        p = 0.01
+        assert block_error_probability(p, 64, 0) == pytest.approx(
+            1.0 - (1.0 - p) ** 64, rel=1e-12
+        )
+
+    def test_zero_raw_ber_never_fails(self):
+        assert block_error_probability(0.0, 71, 1) == 0.0
+
+    def test_deep_tail_does_not_underflow_to_zero(self):
+        # 1 - head-sum would cancel to 0.0 here; the survival-function path
+        # keeps the tail's relative accuracy.
+        tail = block_error_probability(1e-7, 72, 2)
+        assert tail == pytest.approx(5.96e-17, rel=1e-2)
+        assert block_error_probability(1e-12, 72, 1) > 0.0
+
+    def test_more_correction_fails_less(self):
+        p = 1e-2
+        assert block_error_probability(p, 63, 2) < block_error_probability(p, 63, 1)
+
+    def test_monte_carlo_agreement(self, rng):
+        # The frame-error rate of the real decoder tracks the analytic tail
+        # (exact for the perfect Hamming code).
+        code = HammingCode(3)
+        p = 0.04
+        result = estimate_ber_monte_carlo(code, p, num_blocks=20000, rng=rng)
+        predicted = block_error_probability(p, code.n, code.correctable_errors)
+        assert result.block_error_rate == pytest.approx(predicted, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            block_error_probability(1.5, 7, 1)
+        with pytest.raises(ConfigurationError):
+            block_error_probability(0.1, 0, 1)
+        with pytest.raises(ConfigurationError):
+            block_error_probability(0.1, 7, -1)
 
 
 class TestMonteCarloEstimation:

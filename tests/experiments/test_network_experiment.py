@@ -1,0 +1,117 @@
+"""Tests for the ``network`` experiment: grid shape, determinism, CLI wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.network import (
+    DEFAULT_LOADS,
+    DEFAULT_PATTERNS,
+    DEFAULT_POLICIES,
+    request_rate_for_load,
+    run_network,
+    sweep_shards,
+)
+from repro.experiments.orchestrator import available_experiments, describe_grid, run_experiment
+from repro.experiments.report import rows_to_csv
+
+#: Small grid so the Monte-Carlo sweeps stay test-fast (12 shards).
+FAST_NETWORK = {
+    "patterns": ["uniform", "hotspot", "bursty"],
+    "loads": [0.15, 0.75],
+    "policies": ["min-power", "min-energy"],
+    "num_requests": 150,
+    "payload_bits": 2048,
+    "seed": 5,
+}
+
+
+def _render(result: tuple[str, list[dict]]) -> str:
+    text, rows = result
+    return text + "\n---\n" + rows_to_csv(rows)
+
+
+class TestGridShape:
+    def test_network_is_registered(self):
+        assert "network" in available_experiments()
+
+    def test_default_grid_covers_every_pattern_load_policy(self):
+        shards = sweep_shards()
+        coords = {(s["pattern"], s["policy"], s["load"]) for s in shards}
+        assert len(shards) == len(DEFAULT_PATTERNS) * len(DEFAULT_LOADS) * len(DEFAULT_POLICIES)
+        for pattern in DEFAULT_PATTERNS:
+            for policy in DEFAULT_POLICIES:
+                for load in DEFAULT_LOADS:
+                    assert (pattern, policy, load) in coords
+
+    def test_spawn_indices_are_sequential(self):
+        grid = describe_grid("network", options=FAST_NETWORK)
+        indices = [shard["spawn_index"] for shard in grid.shard_params]
+        assert indices == list(range(len(grid.shard_params)))
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep_shards(options={"policies": ["fastest-possible"]})
+
+    def test_request_rate_scales_with_load(self):
+        assert request_rate_for_load(0.5) == pytest.approx(2 * request_rate_for_load(0.25))
+        with pytest.raises(ConfigurationError):
+            request_rate_for_load(0.0)
+
+
+class TestDeterminismGuard:
+    def test_parallel_network_run_is_byte_identical_to_serial(self):
+        # The same contract PR 2 established for the other experiments:
+        # jobs=4 must reproduce the serial report byte for byte.
+        serial = run_experiment("network", options=FAST_NETWORK)
+        parallel = run_experiment("network", options=FAST_NETWORK, jobs=4)
+        assert _render(serial) == _render(parallel)
+
+    def test_run_network_matches_orchestrated_grid(self):
+        direct = run_network(options=FAST_NETWORK)
+        text, rows = run_experiment("network", options=FAST_NETWORK)
+        assert direct.render_text() == text
+        assert rows_to_csv(direct.to_rows()) == rows_to_csv(rows)
+
+
+class TestSweepContent:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_network(options=FAST_NETWORK)
+
+    def test_every_point_delivers_traffic(self, result):
+        for row in result.rows:
+            assert row["delivered_gbps"] > 0.0
+            assert row["transfers_completed"] > 0
+
+    def test_latency_grows_with_load(self, result):
+        for pattern in FAST_NETWORK["patterns"]:
+            for policy in FAST_NETWORK["policies"]:
+                light, heavy = result.rows_for(pattern, policy)
+                assert light["load"] < heavy["load"]
+                assert heavy["latency_p50_s"] > light["latency_p50_s"]
+
+    def test_hotspot_saturates_before_uniform(self, result):
+        uniform = result.rows_for("uniform", "min-power")[-1]
+        hotspot = result.rows_for("hotspot", "min-power")[-1]
+        assert hotspot["latency_p99_s"] > uniform["latency_p99_s"]
+        assert hotspot["delivered_gbps"] < uniform["delivered_gbps"]
+
+    def test_report_renders_every_grid_point(self, result):
+        text = result.render_text()
+        for pattern in FAST_NETWORK["patterns"]:
+            assert pattern in text
+        assert text.count("min-power") == 6
+        assert text.count("min-energy") == 6
+
+
+class TestCheckpointing:
+    def test_network_checkpoint_roundtrip(self, tmp_path):
+        first = run_experiment(
+            "network", options=FAST_NETWORK, checkpoint_dir=str(tmp_path)
+        )
+        resumed = run_experiment(
+            "network", options=FAST_NETWORK, checkpoint_dir=str(tmp_path), resume=True
+        )
+        assert _render(first) == _render(resumed)

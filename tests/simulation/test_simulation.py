@@ -213,6 +213,26 @@ class TestMessageTransferSimulator:
         assert record.coded_bits == 0
         assert record.error_free
 
+    def test_seed_reproduces_the_transfer_outcome(self):
+        def record(seed):
+            simulator = MessageTransferSimulator(
+                channel=MWSRChannel(reader=0), code=HammingCode(3), raw_ber=2e-2, seed=seed
+            )
+            bits = np.random.default_rng(0).integers(0, 2, size=4096, dtype=np.uint8)
+            return simulator.transfer(Message.from_bits(3, 0, bits))
+
+        # Same seed, same corruption; a SeedSequence works as a seed too.
+        assert record(99).residual_bit_errors == record(99).residual_bit_errors
+        sequence_runs = [record(np.random.SeedSequence(1234)) for _ in range(2)]
+        assert sequence_runs[0].residual_bit_errors == sequence_runs[1].residual_bit_errors
+
+    def test_seed_and_rng_are_mutually_exclusive(self, rng):
+        with pytest.raises(ConfigurationError):
+            MessageTransferSimulator(
+                channel=MWSRChannel(reader=0), code=HammingCode(3), raw_ber=1e-3,
+                rng=rng, seed=1,
+            )
+
     def test_wrong_destination_rejected(self, simulator, rng):
         message = Message.from_bits(3, 4, rng.integers(0, 2, size=64, dtype=np.uint8))
         with pytest.raises(ConfigurationError):

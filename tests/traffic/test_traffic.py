@@ -60,6 +60,28 @@ class TestGenerators:
         assert len(sizes) > 20
         assert all(r.deadline_s is not None for r in requests)
 
+    @pytest.mark.parametrize(
+        "factory", [UniformTrafficGenerator, HotspotTrafficGenerator, BurstyTrafficGenerator]
+    )
+    def test_seed_reproduces_the_request_stream(self, factory):
+        first = list(factory(12, seed=42).generate(30))
+        second = list(factory(12, seed=42).generate(30))
+        assert first == second
+
+    def test_seed_accepts_a_seed_sequence(self):
+        sequence = np.random.SeedSequence(7, spawn_key=(3,))
+        first = list(UniformTrafficGenerator(12, seed=sequence).generate(10))
+        second = list(
+            UniformTrafficGenerator(
+                12, seed=np.random.SeedSequence(7, spawn_key=(3,))
+            ).generate(10)
+        )
+        assert first == second
+
+    def test_seed_and_rng_are_mutually_exclusive(self, rng):
+        with pytest.raises(ConfigurationError):
+            UniformTrafficGenerator(12, rng=rng, seed=1)
+
     def test_generator_validation(self):
         with pytest.raises(ConfigurationError):
             UniformTrafficGenerator(1)
