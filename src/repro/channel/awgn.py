@@ -28,6 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..coding.matrices import as_gf2
+from ..coding.packed import pack_bits, require_packed_blocks
 from ..exceptions import ConfigurationError
 from ..units import db_to_linear
 
@@ -149,6 +150,25 @@ class OOKAWGNChannel:
                 f"transmit_batch expects a (B, n) block matrix, got shape {matrix.shape}"
             )
         return self._decide(matrix)
+
+    def transmit_batch_packed(self, words, *, n: int) -> np.ndarray:
+        """Transmit a packed ``(B, ceil(n/64))`` matrix of ``n``-bit blocks.
+
+        Packed counterpart of :meth:`transmit_batch`: one ``(B, n)``
+        Gaussian noise matrix is sampled exactly like the unpacked path
+        (same stream), thresholded into two per-bit decision planes — what
+        the receiver would output had the bit been a '1' (high level) or a
+        '0' (low level) — and those planes are packed straight into words
+        and muxed by the transmitted bits.  ``high + noise`` here is the
+        same float sum as ``currents + noise`` in :meth:`_decide`, so both
+        paths make bit-identical decisions for the same generator state.
+        """
+        matrix = require_packed_blocks(words, n)
+        levels = self._levels()
+        noise = self._rng.normal(0.0, levels.noise_sigma_a, size=(matrix.shape[0], n))
+        decisions_if_one = pack_bits((levels.high_a + noise) > levels.threshold_a)
+        decisions_if_zero = pack_bits((levels.low_a + noise) > levels.threshold_a)
+        return (matrix & decisions_if_one) | (~matrix & decisions_if_zero)
 
     def _decide(self, stream: np.ndarray) -> np.ndarray:
         """Shared shape-preserving modulate/noise/threshold chain."""

@@ -4,6 +4,13 @@ The analytic link design reduces the optical channel to a crossover
 probability ``p``; this class provides the matching stochastic channel so
 codes can be exercised bit-by-bit in the Monte-Carlo validation and in the
 fault-injection experiments.
+
+The packed fast path (:meth:`BinarySymmetricChannel.transmit_batch_packed`)
+emits the flip pattern as a packed ``uint64`` error mask XORed onto packed
+codeword words.  It consumes the random stream exactly like the unpacked
+:meth:`~BinarySymmetricChannel.transmit_batch` (one uniform draw per bit),
+so for the same generator state both paths corrupt identically — the
+packed/unpacked equivalence tests rely on that.
 """
 
 from __future__ import annotations
@@ -12,6 +19,7 @@ import numpy as np
 
 from ..exceptions import ConfigurationError
 from ..coding.matrices import as_gf2
+from ..coding.packed import pack_bits, popcount, require_packed_blocks
 
 __all__ = ["BinarySymmetricChannel"]
 
@@ -65,6 +73,20 @@ class BinarySymmetricChannel:
                 f"transmit_batch expects a (B, n) block matrix, got shape {matrix.shape}"
             )
         return self._flip(matrix)
+
+    def transmit_batch_packed(self, words, *, n: int) -> np.ndarray:
+        """Transmit a packed ``(B, ceil(n/64))`` block matrix of ``n``-bit blocks.
+
+        Packed counterpart of :meth:`transmit_batch`: the flip decisions are
+        drawn exactly like the unpacked path (same stream) but packed
+        straight into a ``uint64`` error mask, so the corrupted codewords
+        never leave packed storage.
+        """
+        matrix = require_packed_blocks(words, n)
+        mask = pack_bits(self._rng.random((matrix.shape[0], n)) < self._p)
+        self._bits_transmitted += matrix.shape[0] * n
+        self._bits_flipped += popcount(mask)
+        return matrix ^ mask
 
     def _flip(self, stream: np.ndarray) -> np.ndarray:
         flips = (self._rng.random(stream.shape) < self._p).astype(np.uint8)

@@ -18,6 +18,8 @@ paper plus the generic machinery needed to analyse them:
 * :mod:`repro.coding.crc` — cyclic redundancy checks for detection-only
   schemes.
 * :mod:`repro.coding.uncoded` — the pass-through "w/o ECC" scheme.
+* :mod:`repro.coding.packed` — the packed ``uint64`` bitplane substrate the
+  batch coding/channel/simulation fast paths run on.
 * :mod:`repro.coding.theory` — analytic post-decoding BER over a binary
   symmetric channel (paper Eq. 2 and generalisations).
 * :mod:`repro.coding.montecarlo` — Monte-Carlo BER estimation.
@@ -30,9 +32,13 @@ from .base import (
     Codeword,
     DecodeResult,
     LinearBlockCode,
+    PackedBatchDecodeResult,
     decode_blocks,
+    decode_blocks_packed,
     encode_blocks,
+    encode_blocks_packed,
 )
+from .packed import pack_bits, popcount, popcount_rows, prefix_mask, unpack_bits, words_per_block
 from .galois import GaloisField, get_field
 from .uncoded import UncodedScheme
 from .hamming import HammingCode, ShortenedHammingCode, hamming_parameters_for_message_length
@@ -57,8 +63,17 @@ __all__ = [
     "Codeword",
     "DecodeResult",
     "LinearBlockCode",
+    "PackedBatchDecodeResult",
     "decode_blocks",
+    "decode_blocks_packed",
     "encode_blocks",
+    "encode_blocks_packed",
+    "pack_bits",
+    "unpack_bits",
+    "popcount",
+    "popcount_rows",
+    "prefix_mask",
+    "words_per_block",
     "GaloisField",
     "get_field",
     "UncodedScheme",

@@ -32,6 +32,21 @@ decoder instead of the generic syndrome machinery.  The pre-batching
 per-block decoder is preserved as :meth:`_decode_block_reference` and is
 used by the equivalence tests and the scalar-baseline benchmarks.
 
+Packed fast path
+----------------
+The batch API above still moves one byte per bit.  The *packed* twin —
+:meth:`encode_batch_packed` / :meth:`decode_batch_packed` — keeps codewords
+in ``(B, ceil(n/64))`` ``uint64`` word matrices (:mod:`repro.coding.packed`)
+through the whole encode → corrupt → decode chain: encoding XOR-folds
+per-byte partial-codeword tables stored packed, syndrome keys gather from
+the packed byte image without ever materialising unpacked bits, and
+corrections are applied as packed XOR masks.  The unpacked ``encode_batch``
+/ ``decode_batch`` are thin pack/unpack wrappers over the packed path (and
+remain bit-exact with the pre-packing implementation); subclasses that
+override the unpacked batch or scalar decoders are still honoured — the
+base ``decode_batch_packed`` detects the override and round-trips through
+their implementation.
+
 Bit vectors are numpy ``uint8`` arrays of 0/1 values, most-significant bit
 first within a block; the ordering convention only matters for tests since
 all analyses are symmetric in bit position.
@@ -46,14 +61,26 @@ import numpy as np
 
 from ..exceptions import CodewordLengthError, ConfigurationError, DecodingFailure
 from .matrices import as_gf2, gf2_matmul, gf2_parity_check_from_systematic_generator, hamming_weight
+from .packed import (
+    byte_lookup_tables,
+    fold_byte_tables,
+    pack_bits,
+    packed_byte_view,
+    require_packed_blocks,
+    unpack_bits,
+    words_per_block,
+)
 
 __all__ = [
     "Codeword",
     "DecodeResult",
     "BatchDecodeResult",
+    "PackedBatchDecodeResult",
     "LinearBlockCode",
     "encode_blocks",
     "decode_blocks",
+    "encode_blocks_packed",
+    "decode_blocks_packed",
 ]
 
 
@@ -151,6 +178,56 @@ class BatchDecodeResult:
         return int(np.count_nonzero(self.failure))
 
 
+@dataclass(frozen=True)
+class PackedBatchDecodeResult:
+    """Outcome of decoding a packed ``(B, ceil(n/64))`` uint64 batch.
+
+    The packed twin of :class:`BatchDecodeResult`: ``corrected_words`` holds
+    the corrected codewords in the packed-word layout of
+    :mod:`repro.coding.packed` (padding bits zero), and the three status
+    fields are boolean ``(B,)`` vectors.  ``unpack()`` recovers the unpacked
+    result at the API boundary; packed consumers stay on the words and count
+    residual errors with popcounts instead.
+
+    Treat every array as **read-only**: to keep the hot path allocation-free
+    the fields may alias each other (the all-clean fast path shares one
+    zeros mask between ``corrected`` and ``failure`` and returns the
+    caller's received words as ``corrected_words``), and ``unpack()`` slices
+    ``message_bits`` out of ``corrected_codewords`` as a view.
+    """
+
+    corrected_words: np.ndarray
+    detected_error: np.ndarray
+    corrected: np.ndarray
+    failure: np.ndarray
+    n: int
+    k: int
+
+    def __len__(self) -> int:
+        return int(self.corrected_words.shape[0])
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of blocks in the batch."""
+        return len(self)
+
+    @property
+    def num_failures(self) -> int:
+        """Number of blocks with a detected-but-uncorrectable pattern."""
+        return int(np.count_nonzero(self.failure))
+
+    def unpack(self) -> BatchDecodeResult:
+        """Expand to the unpacked :class:`BatchDecodeResult` (one bit per byte)."""
+        codewords = unpack_bits(self.corrected_words, self.n)
+        return BatchDecodeResult(
+            message_bits=codewords[:, : self.k],
+            corrected_codewords=codewords,
+            detected_error=self.detected_error,
+            corrected=self.corrected,
+            failure=self.failure,
+        )
+
+
 class LinearBlockCode:
     """A systematic (n, k) linear block code over GF(2).
 
@@ -201,6 +278,11 @@ class LinearBlockCode:
         self._syndrome_known: Optional[np.ndarray] = None
         self._encode_tables: Optional[np.ndarray] = None
         self._syndrome_key_tables: Optional[np.ndarray] = None
+        self._packed_encode_tables_cache: Optional[np.ndarray] = None
+        self._packed_syndrome_patterns: Optional[np.ndarray] = None
+        #: Sparse ``syndrome key -> packed error pattern`` cache for codes too
+        #: wide for the dense pattern array.
+        self._packed_pattern_cache: dict[int, np.ndarray] = {}
 
     # ------------------------------------------------------------------ metadata
     @property
@@ -291,13 +373,28 @@ class LinearBlockCode:
             self._encode_tables = tables
         return self._encode_tables
 
+    def _packed_encode_lookup_tables(self) -> Optional[np.ndarray]:
+        """Packed encode tables: ``(ceil(k/8), 256, ceil(n/64))`` uint64.
+
+        The packed image of :meth:`_encode_lookup_tables` — each per-byte
+        partial codeword stored as words, so packed encoding is the same
+        XOR-fold of table gathers moving 8x less data.
+        """
+        if self._packed_encode_tables_cache is None:
+            if self._encode_lookup_tables() is None:
+                return None
+            # The per-bit contribution of message bit i is generator row i
+            # (packed); the shared byte-sliced builder folds them into the
+            # same tables as packing the unpacked per-byte tables would.
+            self._packed_encode_tables_cache = byte_lookup_tables(pack_bits(self._generator))
+        return self._packed_encode_tables_cache
+
     def encode_batch(self, messages) -> np.ndarray:
         """Encode a ``(B, k)`` message matrix into a ``(B, n)`` codeword matrix.
 
-        All B blocks are encoded at once — through the bit-sliced lookup
-        tables (XOR of per-byte partial codewords) when available, falling
-        back to a single GF(2) matrix product.  This is the hot path of the
-        Monte-Carlo engine.
+        Thin pack/unpack wrapper over :meth:`encode_batch_packed` (bit-exact
+        with the pre-packing table fold); codes too wide for the lookup
+        tables fall back to a single GF(2) matrix product.
         """
         blocks = as_gf2(messages)
         if blocks.ndim != 2 or blocks.shape[1] != self._k:
@@ -305,14 +402,24 @@ class LinearBlockCode:
                 f"{self._name}: expected a (B, {self._k}) message matrix, "
                 f"got shape {blocks.shape}"
             )
-        tables = self._encode_lookup_tables()
-        if tables is None:
+        if self._encode_lookup_tables() is None:
             return gf2_matmul(blocks, self._generator)
-        packed = np.packbits(blocks, axis=1)
-        codewords = tables[0][packed[:, 0]]
-        for index in range(1, tables.shape[0]):
-            codewords = codewords ^ tables[index][packed[:, index]]
-        return codewords
+        return unpack_bits(self.encode_batch_packed(pack_bits(blocks)), self._n)
+
+    def encode_batch_packed(self, message_words) -> np.ndarray:
+        """Encode a packed ``(B, ceil(k/64))`` message matrix into packed codewords.
+
+        The hot path of the packed pipeline: the codeword of each message is
+        the XOR of per-byte partial codewords gathered from the packed
+        lookup tables, indexed by the bytes of the packed message image —
+        no unpacked bit ever materialises.  Padding bits of the input must
+        be zero (the :func:`~repro.coding.packed.pack_bits` invariant).
+        """
+        words = self._require_packed(message_words, self._k, "message")
+        tables = self._packed_encode_lookup_tables()
+        if tables is None:
+            return pack_bits(gf2_matmul(unpack_bits(words, self._k), self._generator))
+        return fold_byte_tables(tables, packed_byte_view(words))
 
     def encode_block(self, message_bits) -> np.ndarray:
         """Encode exactly one k-bit message block into an n-bit codeword."""
@@ -408,25 +515,25 @@ class LinearBlockCode:
         of a matmul plus a powers-of-two dot product.
         """
         if self._syndrome_key_tables is None:
-            num_bytes = (self._n + 7) // 8
-            bits = self._byte_value_bits()
-            check_t = self._parity_check.T
-            tables = np.zeros((num_bytes, 256), dtype=np.int64)
-            for index in range(num_bytes):
-                rows = check_t[index * 8 : (index + 1) * 8]
-                partial = gf2_matmul(bits[:, : rows.shape[0]], rows)
-                tables[index] = partial.astype(np.int64) @ self._syndrome_weights
-            self._syndrome_key_tables = tables
+            # The partial key of received bit i is the packed syndrome of the
+            # unit error at i — one dot product per parity-check column.
+            contributions = self._parity_check.T.astype(np.int64) @ self._syndrome_weights
+            self._syndrome_key_tables = byte_lookup_tables(contributions)
         return self._syndrome_key_tables
 
     def _batch_syndrome_keys(self, blocks: np.ndarray) -> np.ndarray:
-        """Packed integer syndrome keys of a ``(B, n)`` block matrix."""
-        tables = self._syndrome_key_lookup_tables()
-        packed = np.packbits(blocks, axis=1)
-        keys = tables[0][packed[:, 0]]
-        for index in range(1, tables.shape[0]):
-            keys = keys ^ tables[index][packed[:, index]]
-        return keys
+        """Packed integer syndrome keys of an unpacked ``(B, n)`` block matrix."""
+        return self._batch_syndrome_keys_packed(pack_bits(blocks))
+
+    def _batch_syndrome_keys_packed(self, words: np.ndarray) -> np.ndarray:
+        """Integer syndrome keys gathered straight from the packed byte image.
+
+        Packing a syndrome to its key commutes with XOR, so the key of each
+        block is the XOR of per-byte partial keys — ``ceil(n/8)`` table
+        gathers over the bytes of the packed words, never touching unpacked
+        bits.
+        """
+        return fold_byte_tables(self._syndrome_key_lookup_tables(), packed_byte_view(words))
 
     def _require_blocks(self, received) -> np.ndarray:
         """Validate and coerce a ``(B, n)`` received matrix."""
@@ -438,15 +545,51 @@ class LinearBlockCode:
             )
         return blocks
 
+    def _require_packed(self, words, num_bits: int, what: str = "received") -> np.ndarray:
+        """Validate a ``(B, ceil(num_bits/64))`` packed uint64 matrix.
+
+        Shared validator from :mod:`repro.coding.packed`, re-raised as a
+        :class:`CodewordLengthError` carrying the code's name.
+        """
+        try:
+            return require_packed_blocks(words, num_bits, what=what)
+        except ConfigurationError as error:
+            raise CodewordLengthError(f"{self._name}: {error}") from None
+
+    def _packed_syndrome_lookup_arrays(self) -> Optional[tuple[np.ndarray, np.ndarray]]:
+        """Dense ``key -> packed error pattern`` array plus the known mask."""
+        dense = self._syndrome_lookup_arrays()
+        if dense is None:
+            return None
+        if self._packed_syndrome_patterns is None:
+            patterns, _ = dense
+            self._packed_syndrome_patterns = pack_bits(patterns)
+        return self._packed_syndrome_patterns, self._syndrome_known
+
+    def _packed_pattern_for_key(self, key: int) -> Optional[np.ndarray]:
+        """Packed error pattern of one syndrome key (sparse-table codes only)."""
+        cached = self._packed_pattern_cache.get(key)
+        if cached is None:
+            pattern = self._syndrome_dict().get(key)
+            if pattern is None:
+                return None
+            cached = pack_bits(pattern[np.newaxis, :])[0]
+            self._packed_pattern_cache[key] = cached
+        return cached
+
     def decode_batch(self, received, *, strict: bool = False) -> BatchDecodeResult:
         """Decode a whole ``(B, n)`` batch by vectorized syndrome lookup.
 
-        All B syndromes are computed with one GF(2) matmul, packed to
-        integer keys with a powers-of-two dot product, and corrected through
-        the dense syndrome table in one fancy-indexing pass.  Blocks whose
-        syndrome has no table entry keep their received bits and are flagged
-        as failures (raising :class:`DecodingFailure` in ``strict`` mode),
-        exactly like the scalar decoder.
+        Thin pack/unpack wrapper over :meth:`decode_batch_packed`, preserved
+        bit-exactly against the pre-packing implementation: all B syndromes
+        become integer keys through packed byte-table gathers, corrections
+        are applied as packed XOR masks, and the result is unpacked once at
+        this API boundary.  Blocks whose syndrome has no table entry keep
+        their received bits and are flagged as failures (raising
+        :class:`DecodingFailure` in ``strict`` mode), exactly like the
+        scalar decoder.  The returned arrays may share memory with each
+        other (``message_bits`` is a view into ``corrected_codewords``);
+        treat them as read-only.
         """
         if type(self).decode_block is not LinearBlockCode.decode_block:
             # A subclass customised only the scalar decoder (the pre-batching
@@ -461,50 +604,78 @@ class LinearBlockCode:
             # Packed int64 keys would overflow; decode through the scalar
             # reference path (no code in this package is that wide).
             return decode_blocks_scalar(self, blocks, strict=strict)
-        keys = self._batch_syndrome_keys(blocks)
+        return self.decode_batch_packed(pack_bits(blocks), strict=strict).unpack()
+
+    def decode_batch_packed(self, received_words, *, strict: bool = False) -> PackedBatchDecodeResult:
+        """Decode a packed ``(B, ceil(n/64))`` uint64 batch without unpacking.
+
+        The packed fast path: syndrome keys gather from the packed byte
+        image, the dense syndrome table is stored as packed XOR masks, and
+        corrected codewords stay packed.  Subclasses that override only the
+        unpacked ``decode_batch`` / ``decode_block`` are honoured by
+        round-tripping through their implementation (bit-exact, just not
+        packed-fast).
+        """
+        words = self._require_packed(received_words, self._n)
+        if (
+            type(self).decode_block is not LinearBlockCode.decode_block
+            or type(self).decode_batch is not LinearBlockCode.decode_batch
+            or self._n - self._k > 62
+        ):
+            # Honour subclass decoding semantics (or the wide-code scalar
+            # fallback) through the unpacked path.  ``decode_batch`` returns
+            # before re-packing in every such case, so this cannot recurse.
+            result = self.decode_batch(unpack_bits(words, self._n), strict=strict)
+            return _pack_batch_result(self, result)
+        keys = self._batch_syndrome_keys_packed(words)
         detected = keys != 0
         if not detected.any():
-            clean = np.zeros(blocks.shape[0], dtype=bool)
-            return BatchDecodeResult(
-                message_bits=blocks[:, : self._k].copy(),
-                corrected_codewords=blocks.copy(),
+            # All-clean fast path: no corrections, so the received words are
+            # returned as-is and one shared zeros mask serves both status
+            # fields (no per-call copies).
+            clean = np.zeros(words.shape[0], dtype=bool)
+            return PackedBatchDecodeResult(
+                corrected_words=words,
                 detected_error=detected,
                 corrected=clean,
-                failure=clean.copy(),
+                failure=clean,
+                n=self._n,
+                k=self._k,
             )
-        dense = self._syndrome_lookup_arrays()
+        dense = self._packed_syndrome_lookup_arrays()
         if dense is not None:
             patterns, known = dense
             errors = patterns[keys]
             known_mask = known[keys]
         else:
-            table = self._syndrome_dict()
-            errors = np.zeros_like(blocks)
-            known_mask = np.zeros(blocks.shape[0], dtype=bool)
+            errors = np.zeros_like(words)
+            known_mask = np.zeros(words.shape[0], dtype=bool)
             unique_keys, inverse = np.unique(keys, return_inverse=True)
             for index, key in enumerate(unique_keys):
                 if key == 0:
                     continue
-                pattern = table.get(int(key))
+                pattern = self._packed_pattern_for_key(int(key))
                 if pattern is None:
                     continue
                 mask = inverse == index
                 errors[mask] = pattern
                 known_mask[mask] = True
-        corrected_words = blocks ^ errors
+        corrected_words = words ^ errors
         corrected = detected & known_mask
         failure = detected & ~known_mask
         if strict and failure.any():
             first = int(np.argmax(failure))
             raise DecodingFailure(
-                f"{self._name}: uncorrectable syndrome {self.syndrome(blocks[first]).tolist()}"
+                f"{self._name}: uncorrectable syndrome "
+                f"{self.syndrome(unpack_bits(words[first], self._n)).tolist()}"
             )
-        return BatchDecodeResult(
-            message_bits=corrected_words[:, : self._k].copy(),
-            corrected_codewords=corrected_words,
+        return PackedBatchDecodeResult(
+            corrected_words=corrected_words,
             detected_error=detected,
             corrected=corrected,
             failure=failure,
+            n=self._n,
+            k=self._k,
         )
 
     def decode_block(self, received_bits, *, strict: bool = False) -> DecodeResult:
@@ -654,3 +825,42 @@ def decode_blocks(code, received, *, strict: bool = False) -> BatchDecodeResult:
         return decode_batch(received, strict=strict)
     blocks = as_gf2(received)
     return _assemble_batch(code, [code.decode_block(block, strict=strict) for block in blocks])
+
+
+def _pack_batch_result(code, result: BatchDecodeResult) -> PackedBatchDecodeResult:
+    """Pack an unpacked batch result into its packed twin."""
+    return PackedBatchDecodeResult(
+        corrected_words=pack_bits(result.corrected_codewords),
+        detected_error=result.detected_error,
+        corrected=result.corrected,
+        failure=result.failure,
+        n=int(code.n),
+        k=int(code.k),
+    )
+
+
+def encode_blocks_packed(code, message_words) -> np.ndarray:
+    """Encode a packed ``(B, ceil(k/64))`` batch with ``code``.
+
+    Uses the code's native :meth:`~LinearBlockCode.encode_batch_packed` when
+    present; duck-typed codes without a packed API round-trip through the
+    unpacked helper (bit-exact, just not packed-fast).
+    """
+    encode_packed = getattr(code, "encode_batch_packed", None)
+    if encode_packed is not None:
+        return encode_packed(message_words)
+    return pack_bits(encode_blocks(code, unpack_bits(message_words, int(code.k))))
+
+
+def decode_blocks_packed(code, received_words, *, strict: bool = False) -> PackedBatchDecodeResult:
+    """Decode a packed ``(B, ceil(n/64))`` batch with ``code``.
+
+    Packed twin of :func:`decode_blocks`: native
+    :meth:`~LinearBlockCode.decode_batch_packed` when the code has one,
+    otherwise an unpack → decode → repack fallback with identical results.
+    """
+    decode_packed = getattr(code, "decode_batch_packed", None)
+    if decode_packed is not None:
+        return decode_packed(received_words, strict=strict)
+    result = decode_blocks(code, unpack_bits(received_words, int(code.n)), strict=strict)
+    return _pack_batch_result(code, result)

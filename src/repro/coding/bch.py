@@ -12,12 +12,16 @@ multiple of the minimal polynomials of ``alpha, alpha^2, ..., alpha^{2t}``
 and decodes with the Berlekamp–Massey / Chien-search procedure, which is
 adequate for the small ``t`` (2 or 3) relevant on-chip.
 
-Batch decoding computes the ``2t`` power-sum syndromes of every block in
-the batch at once through an antilog-table lookup matrix (``alpha^{j·i}``
-precomputed as a NumPy array); only the rare blocks with a non-zero
-syndrome fall back to the scalar Berlekamp–Massey + Chien path, so at the
-low raw BERs the link designs operate at, the whole batch is effectively
-decoded in array code.
+Batch decoding is fully vectorized and rides the packed substrate: the
+``2t`` power-sum syndromes of every block come from bit-sliced byte tables
+gathered straight off the packed word image, and the errored blocks run a
+fixed ``2t``-iteration *branchless* Berlekamp–Massey over the GF log/antilog
+tables — every iteration updates all errored rows at once with boolean
+masks instead of branching per block — followed by a Chien search expressed
+as one ``alpha^{-i·j}`` table evaluation over all candidate positions.  The
+per-block Python BM/Chien survives as the reference decoder
+(:meth:`BCHCode._decode_block_reference`) that the equivalence tests pin the
+batch path against, including beyond-``t`` failure patterns.
 """
 
 from __future__ import annotations
@@ -26,16 +30,13 @@ from typing import List
 
 import numpy as np
 
-from ..exceptions import CodewordLengthError, ConfigurationError
-from .base import BatchDecodeResult, DecodeResult, LinearBlockCode
+from ..exceptions import CodewordLengthError, ConfigurationError, DecodingFailure
+from .base import BatchDecodeResult, DecodeResult, LinearBlockCode, PackedBatchDecodeResult
 from .galois import GaloisField, get_field
 from .matrices import as_gf2
+from .packed import byte_lookup_tables, fold_byte_tables, pack_bits, packed_byte_view
 
 __all__ = ["BCHCode"]
-
-#: Blocks per chunk when evaluating batched syndromes; bounds the size of the
-#: intermediate (chunk, 2t, n) product array.
-_SYNDROME_CHUNK_BLOCKS = 4096
 
 
 def _poly_mul_gf2(a: List[int], b: List[int]) -> List[int]:
@@ -97,6 +98,19 @@ class BCHCode(LinearBlockCode):
         self._t = t
         self._generator_poly = generator_poly
         self._syndrome_eval: np.ndarray | None = None
+        self._syndrome_byte_tables_cache: np.ndarray | None = None
+        self._chien_exponents: np.ndarray | None = None
+        num_parity = n - k
+        # Cyclic-polynomial coefficient p lives at systematic bit k+p when it
+        # is a parity coefficient (p < n-k) and at message bit p-(n-k)
+        # otherwise; these two permutations translate between the layouts.
+        positions = np.arange(n)
+        self._coeff_to_systematic = np.where(
+            positions < num_parity, k + positions, positions - num_parity
+        )
+        self._systematic_to_coeff = np.where(
+            positions < k, positions + num_parity, positions - k
+        )
 
     # ------------------------------------------------------------------ construction
     @staticmethod
@@ -183,46 +197,171 @@ class BCHCode(LinearBlockCode):
             self._syndrome_eval = self._field.exp_table[exponents]
         return self._syndrome_eval
 
+    def _syndrome_byte_tables(self) -> np.ndarray:
+        """Bit-sliced syndrome tables: ``(ceil(n/8), 256, 2t)`` partial power sums.
+
+        Entry ``[i, v]`` holds the XOR of ``alpha^{j·p}`` contributions of
+        every bit set in byte value ``v`` at byte position ``i`` of the
+        *systematic* word, so the ``2t`` syndromes of a whole batch are
+        ``ceil(n/8)`` table gathers over the packed byte image — no
+        unpacking, no ``(B, 2t, n)`` intermediate.
+        """
+        if self._syndrome_byte_tables_cache is None:
+            # Per-bit contribution of systematic bit s: the 2t powers
+            # alpha^{j·p} of its cyclic coefficient position p.
+            eval_matrix = self._syndrome_eval_matrix()
+            contributions = eval_matrix[:, self._systematic_to_coeff].T
+            self._syndrome_byte_tables_cache = byte_lookup_tables(
+                np.ascontiguousarray(contributions)
+            )
+        return self._syndrome_byte_tables_cache
+
+    def _batch_syndromes_packed(self, words: np.ndarray) -> np.ndarray:
+        """Power-sum syndromes ``S_1 .. S_2t`` of a packed ``(B, W)`` batch."""
+        return fold_byte_tables(self._syndrome_byte_tables(), packed_byte_view(words))
+
     def _batch_syndromes(self, blocks: np.ndarray) -> np.ndarray:
-        """Power-sum syndromes ``S_1 .. S_2t`` for a whole ``(B, n)`` batch."""
-        eval_matrix = self._syndrome_eval_matrix()
-        out = np.zeros((blocks.shape[0], 2 * self._t), dtype=np.int64)
-        for start in range(0, blocks.shape[0], _SYNDROME_CHUNK_BLOCKS):
-            chunk = blocks[start : start + _SYNDROME_CHUNK_BLOCKS]
-            # Permute [message | parity] into cyclic-polynomial coefficient
-            # order (parity bits are the low-degree coefficients).
-            poly = np.concatenate([chunk[:, self.k :], chunk[:, : self.k]], axis=1)
-            terms = poly[:, np.newaxis, :].astype(np.int64) * eval_matrix[np.newaxis, :, :]
-            out[start : start + chunk.shape[0]] = np.bitwise_xor.reduce(terms, axis=2)
-        return out
+        """Power-sum syndromes of an unpacked ``(B, n)`` batch (packed under the hood)."""
+        return self._batch_syndromes_packed(pack_bits(blocks))
+
+    # -------------------------------------------------------- batch BM + Chien
+    def _gf_mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Element-wise GF(2^m) product through the log/antilog tables."""
+        field = self._field
+        product = field.exp_table[field.log_table[a] + field.log_table[b]]
+        return np.where((a == 0) | (b == 0), 0, product)
+
+    def _batch_berlekamp_massey(self, syndromes: np.ndarray) -> np.ndarray:
+        """Branchless batch Berlekamp–Massey over all errored rows at once.
+
+        Runs the fixed ``2t`` iterations of the scalar algorithm
+        (:meth:`_berlekamp_massey`) with every per-row branch replaced by a
+        boolean mask, so the whole ``(R, 2t)`` syndrome matrix advances in
+        lock-step.  Returns the ``(R, 2t+1)`` error-locator coefficients
+        (degree can reach ``2t`` for uncorrectable patterns); rows follow the
+        scalar recursion exactly, which the equivalence tests rely on.
+        """
+        field = self._field
+        exp = field.exp_table
+        log = field.log_table
+        order = field.order
+        num_rows = syndromes.shape[0]
+        two_t = 2 * self._t
+        width = two_t + 1
+        locator = np.zeros((num_rows, width), dtype=np.int64)
+        locator[:, 0] = 1
+        previous = np.zeros_like(locator)
+        previous[:, 0] = 1
+        length = np.zeros(num_rows, dtype=np.int64)
+        shift = np.ones(num_rows, dtype=np.int64)
+        previous_discrepancy = np.ones(num_rows, dtype=np.int64)
+        columns = np.arange(width)
+
+        for index in range(two_t):
+            discrepancy = syndromes[:, index].copy()
+            for j in range(1, min(index, two_t) + 1):
+                term = self._gf_mul(locator[:, j], syndromes[:, index - j])
+                discrepancy ^= np.where(j <= length, term, 0)
+            nonzero = discrepancy != 0
+            # coefficient = discrepancy / previous_discrepancy (never zero).
+            inverse = exp[order - log[previous_discrepancy]]
+            coefficient = self._gf_mul(discrepancy, inverse)
+            # correction = x^shift * coefficient * previous, one shift per row.
+            shifted = columns[np.newaxis, :] - shift[:, np.newaxis]
+            gathered = np.take_along_axis(previous, np.clip(shifted, 0, width - 1), axis=1)
+            correction = np.where(
+                shifted >= 0, self._gf_mul(coefficient[:, np.newaxis], gathered), 0
+            )
+            updated = locator ^ np.where(nonzero[:, np.newaxis], correction, 0)
+            promote = nonzero & (2 * length <= index)
+            previous = np.where(promote[:, np.newaxis], locator, previous)
+            previous_discrepancy = np.where(promote, discrepancy, previous_discrepancy)
+            length = np.where(promote, index + 1 - length, length)
+            shift = np.where(promote, 1, shift + 1)
+            locator = updated
+        return locator
+
+    def _chien_exponent_matrix(self) -> np.ndarray:
+        """``(t, n)`` exponents of ``alpha^{-i·j}`` for the batch Chien search."""
+        if self._chien_exponents is None:
+            order = self._field.order
+            self._chien_exponents = (
+                -np.outer(np.arange(1, self._t + 1), np.arange(self.n))
+            ) % order
+        return self._chien_exponents
+
+    def _batch_chien(self, locator: np.ndarray, degree: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Roots of every locator at once: one ``alpha^{-i·j}`` table evaluation.
+
+        Returns ``(roots, success)`` where ``roots`` is the ``(R, n)``
+        boolean matrix of error positions in *coefficient* order and
+        ``success`` marks rows whose locator has exactly ``degree`` roots
+        with ``degree <= t`` — the same acceptance rule as the scalar
+        :meth:`_chien_search`.
+        """
+        field = self._field
+        exp = field.exp_table
+        log = field.log_table
+        exponents = self._chien_exponent_matrix()
+        evaluation = np.ones((locator.shape[0], self.n), dtype=np.int64)
+        for j in range(1, self._t + 1):
+            coefficient = locator[:, j]
+            contribution = exp[log[coefficient][:, np.newaxis] + exponents[j - 1][np.newaxis, :]]
+            evaluation ^= np.where((coefficient != 0)[:, np.newaxis], contribution, 0)
+        roots = evaluation == 0
+        success = (degree <= self._t) & (roots.sum(axis=1) == degree)
+        return roots, success
 
     def decode_batch(self, received, *, strict: bool = False) -> BatchDecodeResult:
-        """Batch algebraic decoding.
-
-        The expensive part — the ``2t`` syndromes of every block — is
-        computed for the whole batch with array lookups; only blocks whose
-        syndrome vector is non-zero (rare at operating raw BERs) run the
-        scalar Berlekamp–Massey + Chien correction.
-        """
+        """Batch algebraic decoding (pack/unpack wrapper over the packed path)."""
         blocks = self._require_blocks(received)
-        syndromes = self._batch_syndromes(blocks)
+        return self.decode_batch_packed(pack_bits(blocks), strict=strict).unpack()
+
+    def decode_batch_packed(self, received_words, *, strict: bool = False) -> PackedBatchDecodeResult:
+        """Packed batch decoding: byte-table syndromes, batch BM, batch Chien.
+
+        Syndromes of the whole batch gather from the packed byte image;
+        the errored rows (rare at operating raw BERs) run the branchless
+        batch Berlekamp–Massey and the tabulated Chien search together, and
+        the located error positions are applied as packed XOR masks.
+        """
+        words = self._require_packed(received_words, self.n)
+        syndromes = self._batch_syndromes_packed(words)
         detected = syndromes.any(axis=1)
-        corrected_words = blocks.copy()
-        corrected = np.zeros(blocks.shape[0], dtype=bool)
-        failure = np.zeros(blocks.shape[0], dtype=bool)
-        for index in np.nonzero(detected)[0]:
-            result = self._correct_with_syndromes(
-                blocks[index], [int(s) for s in syndromes[index]], strict=strict
+        errored = np.nonzero(detected)[0]
+        if errored.size == 0:
+            clean = np.zeros(words.shape[0], dtype=bool)
+            return PackedBatchDecodeResult(
+                corrected_words=words,
+                detected_error=detected,
+                corrected=clean,
+                failure=clean,
+                n=self.n,
+                k=self.k,
             )
-            corrected_words[index] = result.corrected_codeword
-            corrected[index] = result.corrected
-            failure[index] = result.failure
-        return BatchDecodeResult(
-            message_bits=corrected_words[:, : self.k].copy(),
-            corrected_codewords=corrected_words,
+        locator = self._batch_berlekamp_massey(syndromes[errored])
+        nonzero_columns = locator != 0
+        degree = locator.shape[1] - 1 - np.argmax(nonzero_columns[:, ::-1], axis=1)
+        roots, success = self._batch_chien(locator, degree)
+        corrected = np.zeros(words.shape[0], dtype=bool)
+        failure = np.zeros(words.shape[0], dtype=bool)
+        corrected[errored[success]] = True
+        failure[errored[~success]] = True
+        if strict and failure.any():
+            raise DecodingFailure(f"{self.name}: uncorrectable error pattern")
+        corrected_words = words.copy()
+        fixed = errored[success]
+        if fixed.size:
+            systematic = np.zeros((int(success.sum()), self.n), dtype=np.uint8)
+            systematic[:, self._coeff_to_systematic] = roots[success]
+            corrected_words[fixed] ^= pack_bits(systematic)
+        return PackedBatchDecodeResult(
+            corrected_words=corrected_words,
             detected_error=detected,
             corrected=corrected,
             failure=failure,
+            n=self.n,
+            k=self.k,
         )
 
     def _correct_with_syndromes(

@@ -11,8 +11,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..exceptions import CodewordLengthError, ConfigurationError
-from .base import BatchDecodeResult, DecodeResult
+from .base import BatchDecodeResult, DecodeResult, PackedBatchDecodeResult
 from .matrices import as_gf2
+from .packed import require_packed_blocks
 
 __all__ = ["UncodedScheme"]
 
@@ -102,6 +103,30 @@ class UncodedScheme:
             detected_error=clean,
             corrected=clean.copy(),
             failure=clean.copy(),
+        )
+
+    def _require_packed(self, words) -> np.ndarray:
+        """Validate a ``(B, ceil(n/64))`` packed uint64 matrix (shared validator)."""
+        try:
+            return require_packed_blocks(words, self._n, what="uncoded")
+        except ConfigurationError as error:
+            raise CodewordLengthError(str(error)) from None
+
+    def encode_batch_packed(self, message_words) -> np.ndarray:
+        """Return the packed message words unchanged (identity encoding)."""
+        return self._require_packed(message_words)
+
+    def decode_batch_packed(self, received_words, *, strict: bool = False) -> PackedBatchDecodeResult:
+        """Accept every packed block verbatim; nothing can be detected."""
+        words = self._require_packed(received_words)
+        clean = np.zeros(words.shape[0], dtype=bool)
+        return PackedBatchDecodeResult(
+            corrected_words=words,
+            detected_error=clean,
+            corrected=clean,
+            failure=clean,
+            n=self._n,
+            k=self._n,
         )
 
     def encode_block(self, message_bits) -> np.ndarray:

@@ -60,7 +60,7 @@ __all__ = ["NetTransferRecord", "NetworkResult", "NetworkSimulator"]
 MODES = ("probabilistic", "bit-exact")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NetTransferRecord:
     """End-to-end outcome of one traffic request."""
 
@@ -95,7 +95,7 @@ class NetTransferRecord:
         return round(self.payload_bits * self.packets_delivered / self.packets_total)
 
 
-@dataclass
+@dataclass(slots=True)
 class NetworkResult:
     """Everything a run produced: per-transfer records plus channel state."""
 
@@ -123,7 +123,7 @@ class NetworkResult:
         return sum(record.packets_sent for record in self.records)
 
 
-@dataclass
+@dataclass(slots=True)
 class _RunState:
     """Per-run mutable state shared by the event handlers."""
 
@@ -139,7 +139,7 @@ class _RunState:
     active_pairs: Dict[tuple, int] = field(default_factory=dict)
 
 
-@dataclass
+@dataclass(slots=True)
 class _TransferState:
     """Mutable bookkeeping of one in-flight transfer."""
 
@@ -306,11 +306,18 @@ class NetworkSimulator:
         if count == 0:
             raise ConfigurationError("a simulation needs at least one request")
 
+        # The drain loop is the engine's hottest Python code: bind the two
+        # handlers and the arrival sentinel once instead of resolving the
+        # attribute chain per event, and keep all per-run aggregation (the
+        # sorted grant-count snapshot below) out of it entirely.
+        handle_arrival = self._handle_arrival
+        handle_departure = self._handle_departure
+        arrival = EventKind.ARRIVAL
         for event in run.queue.drain():
-            if event.kind is EventKind.ARRIVAL:
-                self._handle_arrival(event.time_s, event.payload, run)
+            if event.kind is arrival:
+                handle_arrival(event.time_s, event.payload, run)
             else:
-                self._handle_departure(event.time_s, event.payload, run)
+                handle_departure(event.time_s, event.payload, run)
 
         return NetworkResult(
             records=run.records,

@@ -36,9 +36,14 @@ class EventKind(IntEnum):
     """A scheduled (re)transmission finishes serialising on its channel."""
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class Event:
-    """One scheduled state change, totally ordered by ``(time, sequence)``."""
+    """One scheduled state change, totally ordered by ``(time, sequence)``.
+
+    ``slots=True`` keeps the per-event footprint to the four fields — the
+    engine allocates one of these per arrival/departure, so the instance
+    dict would otherwise dominate the hot loop's allocation traffic.
+    """
 
     time_s: float
     sequence: int
@@ -48,6 +53,8 @@ class Event:
 
 class EventQueue:
     """Min-heap of :class:`Event` objects with deterministic tie-breaking."""
+
+    __slots__ = ("_heap", "_sequence", "_processed")
 
     def __init__(self) -> None:
         self._heap: list[Event] = []

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..coding.matrices import as_gf2
+from ..coding.packed import pack_bits, require_packed_blocks, words_per_block
 from ..exceptions import ConfigurationError
 
 __all__ = ["IndependentErrorModel", "BurstErrorModel"]
@@ -61,6 +62,58 @@ class IndependentErrorModel:
         """
         stream = as_gf2(bits)
         return stream ^ self.error_pattern(stream.size).reshape(stream.shape)
+
+    def error_mask_packed(self, num_blocks: int, *, n: int) -> np.ndarray:
+        """Packed ``(num_blocks, ceil(n/64))`` XOR mask of independent flips.
+
+        Consumes the random stream exactly like
+        ``error_pattern(num_blocks * n)`` (one uniform per bit, row-major),
+        packed straight from the boolean comparison — no uint8 intermediate.
+        An all-clean draw (the common case at operating BERs) skips the
+        packing entirely and returns a zeros mask.
+        """
+        if num_blocks < 0:
+            raise ConfigurationError("number of blocks cannot be negative")
+        flips = self.rng.random(num_blocks * n) < self.bit_error_probability
+        if not flips.any():
+            return np.zeros((num_blocks, words_per_block(n)), dtype=np.uint64)
+        return pack_bits(flips.reshape(num_blocks, n))
+
+    def sparse_error_positions(self, num_bits: int) -> np.ndarray:
+        """Positions of flipped bits, sampled by exact binomial thinning.
+
+        Distribution-identical to thresholding ``num_bits`` uniforms (the
+        flip count is ``Binomial(num_bits, p)`` and, given the count, the
+        flip set is a uniform random subset), but O(#flips) instead of
+        O(#bits): two small draws when errors are rare.  It consumes the
+        random stream *differently* from :meth:`error_pattern` /
+        :meth:`apply_packed`, so it is a sampling alternative (used by the
+        bit-exact network sampler), not a bit-exact twin of them.
+        """
+        if num_bits < 0:
+            raise ConfigurationError("number of bits cannot be negative")
+        count = int(self.rng.binomial(num_bits, self.bit_error_probability))
+        if count == 0:
+            return np.zeros(0, dtype=np.int64)
+        if count * count >= num_bits:
+            # Dense regime: collision re-draws would thrash; one uniform per
+            # bit is cheaper and exact.
+            return np.nonzero(self.rng.random(num_bits) < self.bit_error_probability)[0]
+        while True:
+            positions = np.unique(self.rng.integers(0, num_bits, size=count))
+            if positions.size == count:
+                return positions
+
+    def apply_packed(self, words, *, n: int) -> np.ndarray:
+        """Corrupt a packed ``(B, ceil(n/64))`` matrix of ``n``-bit blocks.
+
+        The flip pattern is drawn exactly like :meth:`apply` on the
+        equivalent unpacked ``(B, n)`` matrix (one flat draw in row-major
+        order, same stream) and packed into a ``uint64`` XOR mask, so both
+        paths corrupt identically for the same generator state.
+        """
+        matrix = require_packed_blocks(words, n)
+        return matrix ^ self.error_mask_packed(matrix.shape[0], n=n)
 
     @property
     def expected_ber(self) -> float:
@@ -179,6 +232,30 @@ class BurstErrorModel:
         """
         stream = as_gf2(bits)
         return stream ^ self.error_pattern(stream.size).reshape(stream.shape)
+
+    def error_mask_packed(self, num_blocks: int, *, n: int) -> np.ndarray:
+        """Packed ``(num_blocks, ceil(n/64))`` burst XOR mask.
+
+        Identical stream consumption and burst placement as
+        ``error_pattern(num_blocks * n)`` (bursts span adjacent blocks in
+        row-major transmission order), packed into words.
+        """
+        if num_blocks < 0:
+            raise ConfigurationError("number of blocks cannot be negative")
+        pattern = self.error_pattern(num_blocks * n)
+        if not pattern.any():
+            return np.zeros((num_blocks, words_per_block(n)), dtype=np.uint64)
+        return pack_bits(pattern.reshape(num_blocks, n))
+
+    def apply_packed(self, words, *, n: int) -> np.ndarray:
+        """Corrupt a packed ``(B, ceil(n/64))`` matrix of ``n``-bit blocks.
+
+        Identical stream consumption and burst placement as :meth:`apply`
+        on the unpacked twin; the pattern is packed into a ``uint64`` XOR
+        mask so the corrupted codewords stay packed.
+        """
+        matrix = require_packed_blocks(words, n)
+        return matrix ^ self.error_mask_packed(matrix.shape[0], n=n)
 
     @property
     def expected_ber(self) -> float:
