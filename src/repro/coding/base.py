@@ -270,10 +270,15 @@ class LinearBlockCode:
         self._parity_check = gf2_parity_check_from_systematic_generator(self._generator)
         self._syndrome_table: Optional[dict[int, np.ndarray]] = None
         # MSB-first powers of two turning an (n-k)-bit syndrome row into an
-        # integer key with one dot product.
-        self._syndrome_weights = (
-            np.int64(1) << np.arange(self._n - self._k - 1, -1, -1, dtype=np.int64)
-        )
+        # integer key with one dot product.  Codes with more than 62 parity
+        # bits cannot key into an int64; they use multi-word uint64 keys
+        # instead (see _syndrome_key_lookup_tables).
+        if self._n - self._k <= 62:
+            self._syndrome_weights: Optional[np.ndarray] = (
+                np.int64(1) << np.arange(self._n - self._k - 1, -1, -1, dtype=np.int64)
+            )
+        else:
+            self._syndrome_weights = None
         self._syndrome_patterns: Optional[np.ndarray] = None
         self._syndrome_known: Optional[np.ndarray] = None
         self._encode_tables: Optional[np.ndarray] = None
@@ -507,17 +512,25 @@ class LinearBlockCode:
         return self._syndrome_patterns, self._syndrome_known
 
     def _syndrome_key_lookup_tables(self) -> np.ndarray:
-        """Bit-sliced syndrome-key tables: ``(ceil(n/8), 256)`` packed partial keys.
+        """Bit-sliced syndrome-key tables: ``(ceil(n/8), 256, ...)`` partial keys.
 
-        Because packing to an integer key commutes with XOR, the key of a
-        received block is the XOR of per-byte partial keys, so the whole
-        batch's syndrome keys come from ``ceil(n/8)`` table gathers instead
-        of a matmul plus a powers-of-two dot product.
+        Because packing to a key commutes with XOR, the key of a received
+        block is the XOR of per-byte partial keys, so the whole batch's
+        syndrome keys come from ``ceil(n/8)`` table gathers instead of a
+        matmul plus a powers-of-two dot product.  Codes with at most 62
+        parity bits key into scalar ``int64`` entries; wider codes store each
+        partial key as the *packed words* of the syndrome itself
+        (``ceil((n-k)/64)`` uint64 per entry), which XOR-compose exactly the
+        same way — no width limit, no scalar fallback.
         """
         if self._syndrome_key_tables is None:
-            # The partial key of received bit i is the packed syndrome of the
-            # unit error at i — one dot product per parity-check column.
-            contributions = self._parity_check.T.astype(np.int64) @ self._syndrome_weights
+            if self._syndrome_weights is not None:
+                # The partial key of received bit i is the packed syndrome of
+                # the unit error at i — one dot product per parity-check
+                # column.
+                contributions = self._parity_check.T.astype(np.int64) @ self._syndrome_weights
+            else:
+                contributions = pack_bits(self._parity_check.T)
             self._syndrome_key_tables = byte_lookup_tables(contributions)
         return self._syndrome_key_tables
 
@@ -577,6 +590,18 @@ class LinearBlockCode:
             self._packed_pattern_cache[key] = cached
         return cached
 
+    def _syndrome_words_to_key(self, words: np.ndarray) -> int:
+        """Python-int key of one packed multi-word syndrome.
+
+        The byte image of the packed words *is* ``np.packbits`` of the
+        syndrome bits, so the big-endian integer of its meaningful bytes —
+        shifted past the sub-byte padding — equals :meth:`_syndrome_key` of
+        the same syndrome for any number of parity bits.
+        """
+        num_parity = self._n - self._k
+        image = packed_byte_view(words[np.newaxis, :])[0]
+        return int.from_bytes(image[: -(-num_parity // 8)].tobytes(), "big") >> (-num_parity % 8)
+
     def decode_batch(self, received, *, strict: bool = False) -> BatchDecodeResult:
         """Decode a whole ``(B, n)`` batch by vectorized syndrome lookup.
 
@@ -600,10 +625,6 @@ class LinearBlockCode:
                 self, [self.decode_block(block, strict=strict) for block in blocks]
             )
         blocks = self._require_blocks(received)
-        if self._n - self._k > 62:
-            # Packed int64 keys would overflow; decode through the scalar
-            # reference path (no code in this package is that wide).
-            return decode_blocks_scalar(self, blocks, strict=strict)
         return self.decode_batch_packed(pack_bits(blocks), strict=strict).unpack()
 
     def decode_batch_packed(self, received_words, *, strict: bool = False) -> PackedBatchDecodeResult:
@@ -620,15 +641,14 @@ class LinearBlockCode:
         if (
             type(self).decode_block is not LinearBlockCode.decode_block
             or type(self).decode_batch is not LinearBlockCode.decode_batch
-            or self._n - self._k > 62
         ):
-            # Honour subclass decoding semantics (or the wide-code scalar
-            # fallback) through the unpacked path.  ``decode_batch`` returns
-            # before re-packing in every such case, so this cannot recurse.
+            # Honour subclass decoding semantics through the unpacked path.
+            # ``decode_batch`` returns before re-packing in every such case,
+            # so this cannot recurse.
             result = self.decode_batch(unpack_bits(words, self._n), strict=strict)
             return _pack_batch_result(self, result)
         keys = self._batch_syndrome_keys_packed(words)
-        detected = keys != 0
+        detected = keys != 0 if keys.ndim == 1 else keys.any(axis=1)
         if not detected.any():
             # All-clean fast path: no corrections, so the received words are
             # returned as-is and one shared zeros mask serves both status
@@ -650,11 +670,20 @@ class LinearBlockCode:
         else:
             errors = np.zeros_like(words)
             known_mask = np.zeros(words.shape[0], dtype=bool)
-            unique_keys, inverse = np.unique(keys, return_inverse=True)
-            for index, key in enumerate(unique_keys):
+            if keys.ndim == 1:
+                unique_keys, inverse = np.unique(keys, return_inverse=True)
+                int_keys = [int(key) for key in unique_keys]
+            else:
+                # Multi-word keys (> 62 parity bits): dedupe whole key rows
+                # and bridge each unique row to the Python-int vocabulary of
+                # the syndrome dict once.
+                unique_keys, inverse = np.unique(keys, axis=0, return_inverse=True)
+                int_keys = [self._syndrome_words_to_key(row) for row in unique_keys]
+            inverse = np.asarray(inverse).reshape(-1)
+            for index, key in enumerate(int_keys):
                 if key == 0:
                     continue
-                pattern = self._packed_pattern_for_key(int(key))
+                pattern = self._packed_pattern_for_key(key)
                 if pattern is None:
                     continue
                 mask = inverse == index
@@ -805,8 +834,9 @@ def _assemble_batch(code, results: list[DecodeResult]) -> BatchDecodeResult:
 def decode_blocks_scalar(code: LinearBlockCode, blocks: np.ndarray, *, strict: bool = False) -> BatchDecodeResult:
     """Per-block reference decoding of a validated ``(B, n)`` matrix.
 
-    Used by :meth:`LinearBlockCode.decode_batch` for codes too wide for
-    packed integer syndrome keys.
+    Kept as the independent reference implementation for the equivalence
+    tests (including the multi-word syndrome-key path of codes with more
+    than 62 parity bits) and the scalar-baseline benchmarks.
     """
     return _assemble_batch(
         code, [code._decode_block_reference(block, strict=strict) for block in blocks]

@@ -5,9 +5,10 @@ this module provides the empirical counterpart used by the validation
 examples and the property-based tests: push random messages through
 encode → binary-symmetric channel → decode and count residual bit errors.
 
-The engine is batched *and packed*: messages are drawn, packed into
-``uint64`` words, encoded, corrupted and decoded ``batch_size`` blocks at a
-time through the packed coding API
+The engine is batched *and packed*: messages are drawn directly as packed
+``uint64`` words (:func:`draw_message_words` — same consumed RNG stream as
+the historical draw-then-pack path), encoded, corrupted and decoded
+``batch_size`` blocks at a time through the packed coding API
 (:meth:`~repro.coding.base.LinearBlockCode.encode_batch_packed` /
 :meth:`~repro.coding.base.LinearBlockCode.decode_batch_packed`), and
 residual message-bit errors are counted with packed popcounts — the random
@@ -28,11 +29,12 @@ import numpy as np
 
 from ..exceptions import ConfigurationError
 from .base import decode_blocks, decode_blocks_packed, encode_blocks, encode_blocks_packed
-from .packed import pack_bits, popcount_rows, prefix_mask
+from .packed import pack_bits, popcount_rows, prefix_mask, words_per_block
 
 __all__ = [
     "MonteCarloBERResult",
     "estimate_ber_monte_carlo",
+    "draw_message_words",
     "DEFAULT_BATCH_SIZE",
     "shard_seed_sequences",
     "resolve_rng",
@@ -78,6 +80,110 @@ def resolve_rng(
     if seed is not None:
         return np.random.default_rng(seed)
     return np.random.default_rng()
+
+
+# --------------------------------------------------------------- packed draws
+#
+# ``generator.integers(0, 2, size=N, dtype=uint8)`` produces each fair bit by
+# Lemire's multiply-shift reduction of one buffered byte — ``(byte * 2) >> 8``,
+# i.e. the *top* bit of each byte — consuming the bytes of one ``next_uint32``
+# low byte first and discarding the unused remainder of the final word.  A
+# full-range ``integers(0, 2**32, size=ceil(N/4), dtype=uint32)`` call consumes
+# exactly the same ``next_uint32`` values (bounded generation with a
+# power-of-two range never rejects), so the packed message words can be
+# assembled straight from those words with bit arithmetic: the generator state
+# after the draw — and therefore every later channel draw — is identical to
+# the unpacked path's, and so are the drawn bits.  The equivalence is an
+# implementation detail of NumPy's bit generator, so it is *verified once at
+# runtime* against the unpacked draw (see ``_packed_draw_supported``); if a
+# NumPy release ever changes the reduction, the engine falls back to the
+# draw-then-pack path and stays bit-exact by construction.
+
+#: In-word bit positions of the four stream bits carried by one uint32 draw
+#: (top bit of each byte, low byte first).
+_DRAW_BIT_SHIFTS = np.array([7, 15, 23, 31], dtype=np.uint32)
+_PACKED_DRAW_OK: bool | None = None
+
+
+def _draw_words_from_uint32_stream(
+    generator: np.random.Generator, num_blocks: int, num_bits: int
+) -> np.ndarray:
+    """Draw a packed ``(num_blocks, ceil(num_bits/64))`` fair-bit matrix.
+
+    Consumes the generator exactly like
+    ``integers(0, 2, size=(num_blocks, num_bits), dtype=uint8)`` (verified by
+    :func:`_packed_draw_supported`) but assembles the ``np.packbits`` byte
+    image directly from the raw ``uint32`` words — no per-bit byte matrix is
+    ever materialised.
+    """
+    total_bits = num_blocks * num_bits
+    raw = generator.integers(0, 1 << 32, size=-(-total_bits // 4), dtype=np.uint32)
+    # Compact the four spread stream bits of each word into an MSB-first
+    # nibble with one carry-free multiply: the mask isolates bits
+    # {7, 15, 23, 31}, the multiplier lands them on bits {38, 37, 36, 35}.
+    nibbles = (
+        (raw.astype(np.uint64) & np.uint64(0x80808080)) * np.uint64(0x80402010)
+        >> np.uint64(35)
+    ) & np.uint64(0xF)
+    if nibbles.size % 2:
+        nibbles = np.concatenate([nibbles, np.zeros(1, dtype=np.uint64)])
+    # Two consecutive nibbles form one byte of the flat packbits image; two
+    # trailing zero bytes cover the (zero) padding reads of the last row.
+    flat = np.zeros(nibbles.size // 2 + 2, dtype=np.uint8)
+    flat[:-2] = (nibbles[0::2] << np.uint64(4) | nibbles[1::2]).astype(np.uint8)
+
+    num_words = words_per_block(num_bits)
+    byte_image = np.zeros((num_blocks, num_words * 8), dtype=np.uint8)
+    row_bytes = -(-num_bits // 8)
+    if num_bits % 8 == 0:
+        byte_image[:, :row_bytes] = flat[: num_blocks * row_bytes].reshape(
+            num_blocks, row_bytes
+        )
+    else:
+        # Rows start at arbitrary bit offsets of the flat stream; rebuild each
+        # row byte from the two flat bytes that straddle it.
+        starts = np.arange(num_blocks, dtype=np.int64) * num_bits
+        offsets = (starts % 8).astype(np.uint16)[:, np.newaxis]
+        index = (starts // 8)[:, np.newaxis] + np.arange(row_bytes, dtype=np.int64)
+        shifted = (flat[index].astype(np.uint16) << np.uint16(8)) | flat[index + 1]
+        byte_image[:, :row_bytes] = ((shifted << offsets) >> np.uint16(8)).astype(np.uint8)
+        tail = num_bits % 8
+        byte_image[:, row_bytes - 1] &= np.uint8((0xFF << (8 - tail)) & 0xFF)
+    return byte_image.view(np.uint64)
+
+
+def _packed_draw_supported() -> bool:
+    """One-time runtime check that the uint32 reconstruction matches NumPy."""
+    global _PACKED_DRAW_OK
+    if _PACKED_DRAW_OK is None:
+        probe = 271828182845
+        reference = np.random.default_rng(probe)
+        bits = reference.integers(0, 2, size=(5, 23), dtype=np.uint8)
+        reference_tail = reference.random(4)
+        candidate = np.random.default_rng(probe)
+        words = _draw_words_from_uint32_stream(candidate, 5, 23)
+        _PACKED_DRAW_OK = bool(
+            np.array_equal(words, pack_bits(bits))
+            and np.array_equal(candidate.random(4), reference_tail)
+        )
+    return _PACKED_DRAW_OK
+
+
+def draw_message_words(
+    generator: np.random.Generator, num_blocks: int, num_bits: int
+) -> np.ndarray:
+    """Uniform random packed ``(num_blocks, ceil(num_bits/64))`` message words.
+
+    Bit-exact twin of ``pack_bits(generator.integers(0, 2, size=(num_blocks,
+    num_bits), dtype=uint8))`` — same values, same generator state afterwards —
+    built packed end to end when the runtime reconstruction check passes, and
+    through the unpacked draw otherwise.
+    """
+    if num_blocks < 0 or num_bits < 1:
+        raise ConfigurationError("message draws need num_blocks >= 0 and num_bits >= 1")
+    if _packed_draw_supported():
+        return _draw_words_from_uint32_stream(generator, num_blocks, num_bits)
+    return pack_bits(generator.integers(0, 2, size=(num_blocks, num_bits), dtype=np.uint8))
 
 
 @dataclass(frozen=True)
@@ -161,15 +267,17 @@ def estimate_ber_monte_carlo(
     message_mask = prefix_mask(n, k) if packed_path else None
     for start in range(0, num_blocks, batch_size):
         count = min(batch_size, num_blocks - start)
-        messages = generator.integers(0, 2, size=(count, k), dtype=np.uint8)
         if packed_path:
-            codeword_words = encode_blocks_packed(code, pack_bits(messages))
+            # Messages are drawn straight into packed words (same consumed
+            # RNG stream as the unpacked draw — see draw_message_words).
+            codeword_words = encode_blocks_packed(code, draw_message_words(generator, count, k))
             flip_words = pack_bits(generator.random((count, n)) < raw_ber)
             decoded = decode_blocks_packed(code, codeword_words ^ flip_words)
             errors_per_block = popcount_rows(
                 (decoded.corrected_words ^ codeword_words) & message_mask
             )
         else:
+            messages = generator.integers(0, 2, size=(count, k), dtype=np.uint8)
             codewords = encode_blocks(code, messages)
             flips = (generator.random((count, n)) < raw_ber).astype(np.uint8)
             decoded_bits = decode_blocks(code, codewords ^ flips).message_bits

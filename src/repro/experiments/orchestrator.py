@@ -47,6 +47,7 @@ from typing import Any, Callable, Dict, List, Sequence
 from ..config import DEFAULT_CONFIG, PaperConfig
 from ..exceptions import ConfigurationError
 from . import (
+    adaptive,
     calibration,
     figure3,
     figure4,
@@ -103,6 +104,7 @@ _GRIDS: Dict[str, GridFunctions] = {
         calibration.sweep_shards, calibration.run_sweep_shard, calibration.merge_sweep
     ),
     "network": GridFunctions(network.sweep_shards, network.run_sweep_shard, network.merge_sweep),
+    "adaptive": GridFunctions(adaptive.sweep_shards, adaptive.run_sweep_shard, adaptive.merge_sweep),
 }
 
 

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Sequence
 
 from ..coding.registry import paper_code_set
+from ..coding.theory import output_ber, raw_ber_for_target_output_ber
 from ..config import DEFAULT_CONFIG, PaperConfig
 from ..exceptions import ConfigurationError
 from ..interfaces.synthesis import SynthesisReport, synthesize_interfaces
@@ -22,7 +23,33 @@ from ..link.design import OpticalLinkDesigner
 from ..power.channel import ChannelPowerBreakdown, channel_power_breakdown
 from .policies import ConfigurationDecision, MinimumPowerPolicy, SelectionPolicy
 
-__all__ = ["CommunicationRequest", "LinkConfiguration", "OpticalLinkManager"]
+__all__ = [
+    "CommunicationRequest",
+    "LinkConfiguration",
+    "OpticalLinkManager",
+    "derated_target_ber",
+]
+
+
+def derated_target_ber(code, target_ber: float, margin_multiplier: float) -> float:
+    """Post-decoding target to *design* for so drift cannot break the real one.
+
+    A link provisioned against a raw-BER drift margin ``m`` must keep the
+    post-decoding BER at or below ``target_ber`` while the channel is up to
+    ``m`` times noisier than designed.  Equivalently, its design raw BER must
+    be ``m`` times lower than the code would nominally tolerate — which maps
+    back onto the existing (code, target) design chain as designing for the
+    *derated* post-decoding target ``output_ber(code, raw_nominal / m)``.
+    ``margin_multiplier = 1`` returns ``target_ber`` unchanged (bit-for-bit:
+    no analytic round trip is taken), so unmargined requests reproduce the
+    historical design points exactly.
+    """
+    if margin_multiplier < 1.0:
+        raise ConfigurationError("drift margin multiplier must be at least 1")
+    if margin_multiplier == 1.0:
+        return float(target_ber)
+    nominal_raw = raw_ber_for_target_output_ber(code, target_ber)
+    return float(output_ber(code, nominal_raw / margin_multiplier))
 
 
 @dataclass(frozen=True)
@@ -53,11 +80,24 @@ class LinkConfiguration:
     decision: ConfigurationDecision
     laser_output_power_w: float
     configuration_id: int
+    #: Raw-BER drift margin the configuration was provisioned for: the link
+    #: meets the request's target while the channel degrades by up to this
+    #: factor.  ``1.0`` is the historical unmargined design.
+    margin_multiplier: float = 1.0
 
     @property
     def code_name(self) -> str:
         """Coding scheme both sides must select."""
         return self.decision.code_name
+
+    @property
+    def design_target_ber(self) -> float:
+        """Post-decoding target the operating point was actually solved for.
+
+        Equals the request's target for an unmargined configuration and the
+        derated (tighter) target when a drift margin was applied.
+        """
+        return self.decision.breakdown.target_ber
 
     @property
     def communication_time(self) -> float:
@@ -91,7 +131,7 @@ class OpticalLinkManager:
         )
         self._configuration_counter = itertools.count(1)
         self._active: Dict[tuple[int, int], LinkConfiguration] = {}
-        self._candidate_cache: Dict[float, list[ChannelPowerBreakdown]] = {}
+        self._candidate_cache: Dict[tuple[float, float], list[ChannelPowerBreakdown]] = {}
 
     # ------------------------------------------------------------------ queries
     @property
@@ -109,14 +149,21 @@ class OpticalLinkManager:
         return list(self._active.values())
 
     # ------------------------------------------------------------------ requests
-    def candidates_for(self, target_ber: float) -> list[ChannelPowerBreakdown]:
-        """Channel-power breakdowns of every scheme at one BER target (cached)."""
-        key = float(target_ber)
+    def candidates_for(
+        self, target_ber: float, margin_multiplier: float = 1.0
+    ) -> list[ChannelPowerBreakdown]:
+        """Channel-power breakdowns of every scheme at one BER target (cached).
+
+        With a ``margin_multiplier`` above 1, every candidate is solved at
+        its code's *derated* target (:func:`derated_target_ber`), i.e. with
+        enough raw-BER headroom to ride out that much channel drift.
+        """
+        key = (float(target_ber), float(margin_multiplier))
         if key not in self._candidate_cache:
             self._candidate_cache[key] = [
                 channel_power_breakdown(
                     code,
-                    key,
+                    derated_target_ber(code, key[0], key[1]),
                     config=self._config,
                     designer=self._designer,
                     synthesis=self._synthesis,
@@ -125,10 +172,19 @@ class OpticalLinkManager:
             ]
         return self._candidate_cache[key]
 
-    def configure(self, request: CommunicationRequest) -> LinkConfiguration:
-        """Handle one configuration request and record the applied configuration."""
+    def configure(
+        self, request: CommunicationRequest, *, margin_multiplier: float = 1.0
+    ) -> LinkConfiguration:
+        """Handle one configuration request and record the applied configuration.
+
+        ``margin_multiplier`` provisions the selected operating point against
+        raw-BER drift (see :func:`derated_target_ber`); the online adaptive
+        controller passes the margin of the channel's current level, a static
+        worst-case design passes the drift model's worst case, and the
+        default of 1 reproduces the historical unmargined behaviour exactly.
+        """
         self._validate_endpoints(request)
-        candidates = self.candidates_for(request.target_ber)
+        candidates = self.candidates_for(request.target_ber, margin_multiplier)
         policy = request.policy if request.policy is not None else self._default_policy
         if request.max_communication_time is not None:
             candidates = [
@@ -139,12 +195,15 @@ class OpticalLinkManager:
         # The designer memoizes the solved operating point per (code,
         # target), so request-rate simulation does not re-run the
         # crosstalk/brentq chain per transfer.
-        laser_output = self._designer.required_laser_output_power(code, request.target_ber)
+        laser_output = self._designer.required_laser_output_power(
+            code, decision.breakdown.target_ber
+        )
         configuration = LinkConfiguration(
             request=request,
             decision=decision,
             laser_output_power_w=laser_output,
             configuration_id=next(self._configuration_counter),
+            margin_multiplier=float(margin_multiplier),
         )
         self._active[(request.source, request.destination)] = configuration
         return configuration

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from typing import Protocol, Sequence
 
 from ..config import DEFAULT_CONFIG, PaperConfig
-from ..exceptions import InfeasibleDesignError
+from ..exceptions import ConfigurationError, InfeasibleDesignError
 from ..power.channel import ChannelPowerBreakdown
 from ..power.energy import energy_metrics
 
@@ -26,6 +26,9 @@ __all__ = [
     "MinimumEnergyPolicy",
     "DeadlineConstrainedPolicy",
     "LaserBudgetPolicy",
+    "margin_levels",
+    "FailureRateMonitor",
+    "HysteresisSwitchingPolicy",
 ]
 
 
@@ -159,6 +162,141 @@ class DeadlineConstrainedPolicy:
                 f"({best.total_power_mw:.2f} mW, CT = {best.communication_time:.2f})"
             ),
         )
+
+
+# ------------------------------------------------------------------ adaptation
+def margin_levels(worst_case_multiplier: float, *, ratio: float = 2.0) -> list[float]:
+    """Geometric ladder of drift margins from nominal to the worst case.
+
+    The online controller switches the link between these margin levels: a
+    configuration provisioned for margin ``m`` keeps the post-decoding BER at
+    or below target while the channel's raw BER is degraded by up to ``m``.
+    The ladder always starts at ``1.0`` (today's static design) and ends at
+    exactly ``worst_case_multiplier`` (the static worst-case design).
+    """
+    if worst_case_multiplier < 1.0:
+        raise ConfigurationError("worst-case multiplier must be at least 1")
+    if ratio <= 1.0:
+        raise ConfigurationError("margin ladder ratio must exceed 1")
+    levels = [1.0]
+    while levels[-1] * ratio < worst_case_multiplier:
+        levels.append(levels[-1] * ratio)
+    if levels[-1] < worst_case_multiplier:
+        levels.append(float(worst_case_multiplier))
+    return levels
+
+
+@dataclass
+class FailureRateMonitor:
+    """Windowed packet-failure monitor estimating the channel's BER drift.
+
+    The receiver-visible failure telemetry of every transmission attempt —
+    ECC blocks the decoder had to correct plus CRC-detected packet failures —
+    is accumulated against the number expected at the configuration's design
+    raw BER; once a window's worth of blocks has been observed, the
+    observed/expected ratio is emitted as the estimated raw-BER drift
+    multiplier (disturb probabilities are linear in the raw BER at the
+    operating points the links design for).  One monitor watches one channel.
+    """
+
+    window_blocks: int = 4096
+    _blocks: int = 0
+    _observed: float = 0.0
+    _expected: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.window_blocks < 1:
+            raise ConfigurationError("monitor window must cover at least one block")
+
+    def observe(
+        self, blocks: int, observed_events: float, expected_events: float
+    ) -> float | None:
+        """Feed one attempt's telemetry; returns the drift estimate at window end."""
+        if blocks < 0 or observed_events < 0 or expected_events < 0:
+            raise ConfigurationError("monitor observations cannot be negative")
+        self._blocks += int(blocks)
+        self._observed += float(observed_events)
+        self._expected += float(expected_events)
+        if self._blocks < self.window_blocks:
+            return None
+        # A window with no expected events carries no information: report the
+        # neutral estimate 1.0 (never triggers an upgrade or a downgrade).
+        # Otherwise the raw ratio is returned unclamped — estimates *below* 1
+        # are exactly what lets the controller step back down to level 0 once
+        # a drifted channel returns to nominal.
+        estimate = self._observed / self._expected if self._expected > 0.0 else 1.0
+        self._blocks = 0
+        self._observed = 0.0
+        self._expected = 0.0
+        return estimate
+
+    def reset(self) -> None:
+        """Forget the partial window (start of a new simulation run)."""
+        self._blocks = 0
+        self._observed = 0.0
+        self._expected = 0.0
+
+
+@dataclass
+class HysteresisSwitchingPolicy:
+    """Hysteresis rule mapping drift estimates to margin-level moves.
+
+    Upgrades are eager — one window estimating the drift above
+    ``upgrade_headroom`` times the current margin steps the level up (the
+    channel has outgrown the provisioned headroom and the link is about to
+    miss its BER target).  Downgrades are conservative — the estimate must
+    stay below ``downgrade_fraction`` of the *lower* level's margin for
+    ``hold_windows`` consecutive windows before stepping down.  The deadband
+    between ``downgrade_fraction * margins[level-1]`` and
+    ``upgrade_headroom * margins[level]`` is what keeps the controller from
+    oscillating on monitor noise: a nominal channel (estimate ~ 1) sits
+    strictly below the level-0 upgrade threshold.
+    """
+
+    upgrade_headroom: float = 1.2
+    downgrade_fraction: float = 0.6
+    hold_windows: int = 2
+
+    def __post_init__(self) -> None:
+        if self.upgrade_headroom <= 1.0:
+            raise ConfigurationError(
+                "upgrade headroom must exceed 1 (a nominal channel must not trigger)"
+            )
+        if not 0.0 < self.downgrade_fraction <= 1.0:
+            raise ConfigurationError("downgrade fraction must lie in (0, 1]")
+        if self.hold_windows < 1:
+            raise ConfigurationError("downgrades need at least one calm window")
+
+    def qualifies_for_downgrade(
+        self, estimated_multiplier: float, margins: Sequence[float], level: int
+    ) -> bool:
+        """Whether one window's estimate counts towards a downgrade streak."""
+        return level > 0 and estimated_multiplier < (
+            self.downgrade_fraction * margins[level - 1]
+        )
+
+    def decide(
+        self,
+        estimated_multiplier: float,
+        margins: Sequence[float],
+        level: int,
+        calm_windows: int,
+    ) -> int:
+        """Level delta (-1, 0, +1) for one window's drift estimate.
+
+        ``calm_windows`` counts how many consecutive windows (excluding this
+        one) that already qualified for a downgrade.
+        """
+        if not 0 <= level < len(margins):
+            raise ConfigurationError("current level outside the margin ladder")
+        if level + 1 < len(margins) and estimated_multiplier > (
+            self.upgrade_headroom * margins[level]
+        ):
+            return 1
+        if self.qualifies_for_downgrade(estimated_multiplier, margins, level):
+            if calm_windows + 1 >= self.hold_windows:
+                return -1
+        return 0
 
 
 @dataclass

@@ -12,13 +12,187 @@ this is the machinery behind the multimedia/real-time example.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List
+from typing import Dict, Iterable, List, Sequence
 
 from ..config import DEFAULT_CONFIG, PaperConfig
-from ..exceptions import InfeasibleDesignError
+from ..exceptions import ConfigurationError, InfeasibleDesignError
 from .manager import CommunicationRequest, LinkConfiguration, OpticalLinkManager
+from .policies import FailureRateMonitor, HysteresisSwitchingPolicy
 
-__all__ = ["TransferOutcome", "RuntimeSimulation"]
+__all__ = ["TransferOutcome", "RuntimeSimulation", "AdaptiveEccController"]
+
+#: Operating modes of the adaptive controller.
+CONTROLLER_MODES = ("static", "adaptive", "oracle")
+
+
+class AdaptiveEccController:
+    """Online per-channel ECC/laser margin control for the network engine.
+
+    The controller owns one margin level per channel on a shared ladder
+    (:func:`~repro.manager.policies.margin_levels`) and answers two questions
+    for the discrete-event engine:
+
+    * **At arrival** — :meth:`margin_for`: which drift margin should the
+      manager provision this transfer's configuration for?
+    * **At departure** — :meth:`observe`: given the attempt's failure
+      telemetry, should the channel switch levels?
+
+    Three modes implement the experiment's three policies:
+
+    ``"static"``
+        Always the top of the ladder — the paper's static worst-case design.
+        Never switches, never consumes telemetry.
+    ``"adaptive"``
+        A :class:`~repro.manager.policies.FailureRateMonitor` per channel
+        feeds a :class:`~repro.manager.policies.HysteresisSwitchingPolicy`;
+        level changes charge the reconfiguration latency (the channel is
+        blocked while lasers re-lock and both interfaces switch coder mode)
+        and energy.
+    ``"oracle"``
+        Clairvoyant lower bound: tracks the true drift multiplier handed in
+        by the engine and always sits on the smallest sufficient level
+        (switch penalties still apply).
+
+    The controller is engine-agnostic state; the engine charges the declared
+    penalties inside its event loop.
+    """
+
+    def __init__(
+        self,
+        *,
+        margins: Sequence[float],
+        mode: str = "adaptive",
+        monitor: FailureRateMonitor | None = None,
+        switching_policy: HysteresisSwitchingPolicy | None = None,
+        switch_latency_s: float = 200e-9,
+        switch_energy_j: float = 1e-9,
+        initial_level: int = 0,
+    ):
+        if mode not in CONTROLLER_MODES:
+            raise ConfigurationError(
+                f"unknown controller mode {mode!r}; available: {CONTROLLER_MODES}"
+            )
+        margins = [float(margin) for margin in margins]
+        if not margins or any(m < 1.0 for m in margins):
+            raise ConfigurationError("the margin ladder needs levels >= 1")
+        if sorted(margins) != margins or len(set(margins)) != len(margins):
+            raise ConfigurationError("margin levels must be strictly increasing")
+        if switch_latency_s < 0.0 or switch_energy_j < 0.0:
+            raise ConfigurationError("switch penalties cannot be negative")
+        if not 0 <= initial_level < len(margins):
+            raise ConfigurationError("initial level outside the margin ladder")
+        self.margins = margins
+        self.mode = mode
+        self.switch_latency_s = float(switch_latency_s)
+        self.switch_energy_j = float(switch_energy_j)
+        self._monitor_template = monitor if monitor is not None else FailureRateMonitor()
+        self._switching_policy = (
+            switching_policy if switching_policy is not None else HysteresisSwitchingPolicy()
+        )
+        self._initial_level = len(margins) - 1 if mode == "static" else int(initial_level)
+        self._levels: Dict[int, int] = {}
+        self._blocked_until: Dict[int, float] = {}
+        self._calm: Dict[int, int] = {}
+        self._monitors: Dict[int, FailureRateMonitor] = {}
+        self.switch_count = 0
+        self.reconfiguration_energy_j = 0.0
+
+    # ------------------------------------------------------------------ state
+    @property
+    def wants_observations(self) -> bool:
+        """Whether the engine should sample and feed failure telemetry."""
+        return self.mode == "adaptive"
+
+    def reset(self) -> None:
+        """Forget all per-channel state (start of a new simulation run)."""
+        self._levels.clear()
+        self._blocked_until.clear()
+        self._calm.clear()
+        self._monitors.clear()
+        self.switch_count = 0
+        self.reconfiguration_energy_j = 0.0
+
+    def level(self, channel: int) -> int:
+        """Current ladder level of one channel."""
+        return self._levels.get(channel, self._initial_level)
+
+    def blocked_until(self, channel: int) -> float:
+        """Simulation time until which the channel is reconfiguring."""
+        return self._blocked_until.get(channel, 0.0)
+
+    def _monitor_for(self, channel: int) -> FailureRateMonitor:
+        if channel not in self._monitors:
+            self._monitors[channel] = FailureRateMonitor(
+                window_blocks=self._monitor_template.window_blocks
+            )
+        return self._monitors[channel]
+
+    def _switch(self, channel: int, new_level: int, now_s: float) -> None:
+        self._levels[channel] = new_level
+        self._blocked_until[channel] = now_s + self.switch_latency_s
+        self._calm[channel] = 0
+        self.switch_count += 1
+        self.reconfiguration_energy_j += self.switch_energy_j
+
+    # ------------------------------------------------------------------ engine API
+    def margin_for(
+        self, channel: int, now_s: float, *, true_multiplier: float | None = None
+    ) -> tuple[float, bool]:
+        """Margin to provision a new transfer on ``channel`` with.
+
+        Returns ``(margin, switched)``; the oracle mode may switch here (it
+        retargets the smallest level covering the true multiplier), the
+        other modes only switch from :meth:`observe`.
+        """
+        level = self.level(channel)
+        if self.mode == "oracle" and true_multiplier is not None:
+            target = next(
+                (
+                    index
+                    for index, margin in enumerate(self.margins)
+                    if margin >= true_multiplier
+                ),
+                len(self.margins) - 1,
+            )
+            if target != level:
+                self._switch(channel, target, now_s)
+                return self.margins[target], True
+        return self.margins[level], False
+
+    def observe(
+        self,
+        channel: int,
+        now_s: float,
+        *,
+        blocks: int,
+        observed_events: float,
+        expected_events: float,
+    ) -> bool:
+        """Feed one attempt's failure telemetry; returns True on a switch."""
+        if self.mode != "adaptive":
+            return False
+        estimate = self._monitor_for(channel).observe(
+            blocks, observed_events, expected_events
+        )
+        if estimate is None:
+            return False
+        level = self.level(channel)
+        delta = self._switching_policy.decide(
+            estimate, self.margins, level, self._calm.get(channel, 0)
+        )
+        if delta > 0:
+            self._switch(channel, level + 1, now_s)
+            return True
+        if delta < 0:
+            self._switch(channel, level - 1, now_s)
+            return True
+        # Track consecutive calm windows for the hysteresis downgrade (the
+        # qualification predicate lives on the policy, not here).
+        if self._switching_policy.qualifies_for_downgrade(estimate, self.margins, level):
+            self._calm[channel] = self._calm.get(channel, 0) + 1
+        else:
+            self._calm[channel] = 0
+        return False
 
 
 @dataclass(frozen=True)

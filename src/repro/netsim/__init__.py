@@ -28,9 +28,23 @@ cross-validation.  The ``network`` experiment
 x manager policy on top of this engine.
 """
 
+from .dynamics import (
+    AgingRampDrift,
+    ChannelDriftModel,
+    ConstantDrift,
+    DriftProcess,
+    RandomWalkDrift,
+    ThermalSinusoidDrift,
+    make_drift_model,
+)
 from .engine import NetTransferRecord, NetworkResult, NetworkSimulator
 from .events import Event, EventKind, EventQueue
-from .metrics import LatencySummary, NetworkMetrics, nearest_rank_percentile
+from .metrics import (
+    IntervalTrace,
+    LatencySummary,
+    NetworkMetrics,
+    nearest_rank_percentile,
+)
 from .outcomes import (
     BitExactOutcomeSampler,
     ProbabilisticOutcomeSampler,
@@ -47,9 +61,17 @@ __all__ = [
     "EventQueue",
     "LatencySummary",
     "NetworkMetrics",
+    "IntervalTrace",
     "nearest_rank_percentile",
     "TransmissionOutcome",
     "ProbabilisticOutcomeSampler",
     "BitExactOutcomeSampler",
     "packets_for_payload",
+    "DriftProcess",
+    "ConstantDrift",
+    "ThermalSinusoidDrift",
+    "AgingRampDrift",
+    "RandomWalkDrift",
+    "ChannelDriftModel",
+    "make_drift_model",
 ]

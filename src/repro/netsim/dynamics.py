@@ -1,0 +1,315 @@
+"""Time-varying channel conditions for the network simulator.
+
+The paper's headline scenario is a manager that *reconfigures* the link at
+run time because the channel's raw bit error rate is not a constant: silicon
+heats up and cools down with workload phases, lasers and photodetectors age,
+and slow environmental processes wander.  This module models those effects
+as a multiplicative drift on the raw channel BER — ``raw(t) = raw_design *
+m(t)`` with ``m(t) >= 1`` relative to the nominal (cool, young) operating
+point — one deterministic process per channel:
+
+* :class:`ThermalSinusoidDrift` — a log-space sinusoid: workload-induced
+  heating cycles between the nominal point and a peak multiplier.
+* :class:`AgingRampDrift` — a monotone log-space ramp towards the
+  end-of-life multiplier; a simulation usually covers early life, which is
+  exactly why a static worst-case design wastes energy.
+* :class:`RandomWalkDrift` — a Markov-modulated reflected random walk in
+  log space, for environmental wander without a deterministic shape.
+* :class:`ConstantDrift` — a fixed multiplier (1.0 reproduces today's
+  static channel exactly).
+
+Determinism: stochastic processes draw from a per-channel generator spawned
+from one :class:`numpy.random.SeedSequence` at construction, and sample
+their trajectory on a fixed step grid, so the multiplier at a given
+``(channel, time)`` is a pure function of the seed — independent of query
+order, event interleaving or sweep sharding.  Multipliers are quantised on
+a log2 grid (:class:`ChannelDriftModel`), which keeps the per-sampler
+failure-probability caches in the engine small and makes reported values
+reproducible across platforms.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "DriftProcess",
+    "ConstantDrift",
+    "ThermalSinusoidDrift",
+    "AgingRampDrift",
+    "RandomWalkDrift",
+    "ChannelDriftModel",
+    "make_drift_model",
+    "DRIFT_PROFILES",
+]
+
+
+class DriftProcess:
+    """Deterministic raw-BER multiplier trajectory of one channel."""
+
+    #: Largest multiplier the process can ever report; the static worst-case
+    #: design and the adaptive controller's top margin level provision for it.
+    worst_case_multiplier: float = 1.0
+
+    def multiplier_at(self, time_s: float) -> float:
+        """Raw-BER multiplier at simulation time ``time_s`` (>= 1)."""
+        raise NotImplementedError
+
+
+class ConstantDrift(DriftProcess):
+    """A channel whose conditions never change (multiplier fixed)."""
+
+    def __init__(self, multiplier: float = 1.0):
+        if multiplier < 1.0:
+            raise ConfigurationError("drift multipliers are >= 1 (nominal point)")
+        self.worst_case_multiplier = float(multiplier)
+
+    def multiplier_at(self, time_s: float) -> float:
+        return self.worst_case_multiplier
+
+
+class ThermalSinusoidDrift(DriftProcess):
+    """Workload-heating cycle: a log-space sinusoid between 1 and a peak.
+
+    ``m(t) = peak ** ((1 - cos(2 pi t / T + phase)) / 2)`` starts at the
+    nominal point for ``phase = 0``, peaks mid-period and returns — the
+    canonical diurnal/phase-change thermal shape.
+    """
+
+    def __init__(self, *, period_s: float, peak_multiplier: float, phase_rad: float = 0.0):
+        if period_s <= 0.0:
+            raise ConfigurationError("thermal period must be positive")
+        if peak_multiplier < 1.0:
+            raise ConfigurationError("peak multiplier must be at least 1")
+        self.period_s = float(period_s)
+        self.worst_case_multiplier = float(peak_multiplier)
+        self.phase_rad = float(phase_rad)
+        self._log_peak = math.log(self.worst_case_multiplier)
+
+    def multiplier_at(self, time_s: float) -> float:
+        level = (1.0 - math.cos(2.0 * math.pi * time_s / self.period_s + self.phase_rad)) / 2.0
+        return math.exp(self._log_peak * level)
+
+
+class AgingRampDrift(DriftProcess):
+    """Device aging: a monotone log-space ramp to the end-of-life multiplier.
+
+    ``m(t) = ramp ** min(1, t / ramp_time)``; a simulation horizon much
+    shorter than ``ramp_time_s`` sees a channel still close to nominal —
+    the regime where a worst-case static margin is pure waste.
+    """
+
+    def __init__(self, *, ramp_multiplier: float, ramp_time_s: float):
+        if ramp_multiplier < 1.0:
+            raise ConfigurationError("ramp multiplier must be at least 1")
+        if ramp_time_s <= 0.0:
+            raise ConfigurationError("ramp time must be positive")
+        self.worst_case_multiplier = float(ramp_multiplier)
+        self.ramp_time_s = float(ramp_time_s)
+        self._log_ramp = math.log(self.worst_case_multiplier)
+
+    def multiplier_at(self, time_s: float) -> float:
+        fraction = min(1.0, max(0.0, time_s / self.ramp_time_s))
+        return math.exp(self._log_ramp * fraction)
+
+
+class RandomWalkDrift(DriftProcess):
+    """Markov-modulated wander: a reflected random walk in log2 space.
+
+    The walk advances on a fixed ``step_s`` grid with normal increments of
+    standard deviation ``log2_sigma`` and is folded back into
+    ``[0, log2(max_multiplier)]`` (triangle reflection), so the multiplier
+    wanders between nominal and the worst case without ever leaving the
+    provisioned range.  Steps are drawn lazily in fixed-size chunks from the
+    process's own generator, so the trajectory depends only on the seed —
+    not on when or in what order the engine asks.
+    """
+
+    _CHUNK = 256
+
+    def __init__(
+        self,
+        *,
+        step_s: float,
+        max_multiplier: float,
+        log2_sigma: float = 0.25,
+        rng: np.random.Generator | None = None,
+        seed: int | np.random.SeedSequence | None = None,
+    ):
+        from ..coding.montecarlo import resolve_rng
+
+        if step_s <= 0.0:
+            raise ConfigurationError("random-walk step must be positive")
+        if max_multiplier < 1.0:
+            raise ConfigurationError("max multiplier must be at least 1")
+        if log2_sigma < 0.0:
+            raise ConfigurationError("walk sigma cannot be negative")
+        self.step_s = float(step_s)
+        self.worst_case_multiplier = float(max_multiplier)
+        self.log2_sigma = float(log2_sigma)
+        self._rng = resolve_rng(rng, seed)
+        self._cumsum: np.ndarray = np.zeros(1, dtype=float)
+
+    def _ensure_steps(self, index: int) -> None:
+        while self._cumsum.size <= index:
+            increments = self._rng.normal(0.0, self.log2_sigma, size=self._CHUNK)
+            extension = self._cumsum[-1] + np.cumsum(increments)
+            self._cumsum = np.concatenate([self._cumsum, extension])
+
+    def multiplier_at(self, time_s: float) -> float:
+        if time_s < 0.0:
+            raise ConfigurationError("simulation time cannot be negative")
+        index = int(time_s / self.step_s)
+        self._ensure_steps(index)
+        span = math.log2(self.worst_case_multiplier)
+        if span == 0.0:
+            return 1.0
+        # Triangle-fold the unconstrained walk into [0, span].
+        folded = abs(math.fmod(self._cumsum[index], 2.0 * span))
+        level = span - abs(folded - span)
+        return 2.0 ** level
+
+
+class ChannelDriftModel:
+    """Per-channel drift processes behind one quantised query interface.
+
+    Parameters
+    ----------
+    factory:
+        ``factory(channel, seed_sequence)`` building the channel's process;
+        the ``seed_sequence`` is the channel's own spawned child (ignored by
+        deterministic processes).
+    num_channels:
+        Number of reader channels of the ring (``config.num_onis``).
+    seed:
+        Integer or :class:`~numpy.random.SeedSequence` the per-channel
+        children are spawned from.
+    quantization_steps_per_octave:
+        The reported multiplier is snapped to ``2**(round(log2(m) * q) / q)``.
+        Quantisation bounds the engine's per-sampler failure-probability
+        caches (at most ``q * log2(worst_case) + 1`` distinct raw BERs per
+        configuration) without visibly distorting the trajectory; ``m = 1``
+        is always reported exactly.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[int, np.random.SeedSequence], DriftProcess],
+        num_channels: int,
+        *,
+        seed: int | np.random.SeedSequence | None = None,
+        quantization_steps_per_octave: int = 16,
+    ):
+        if num_channels < 1:
+            raise ConfigurationError("a drift model needs at least one channel")
+        if quantization_steps_per_octave < 1:
+            raise ConfigurationError("quantization needs at least one step per octave")
+        sequence = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+        children = sequence.spawn(num_channels)
+        self._processes: List[DriftProcess] = [
+            factory(channel, children[channel]) for channel in range(num_channels)
+        ]
+        self._quantization = int(quantization_steps_per_octave)
+        self.num_channels = int(num_channels)
+        # Immutable after construction; cached because multiplier() sits in
+        # the engine's per-attempt hot path.
+        self._worst_case = max(
+            process.worst_case_multiplier for process in self._processes
+        )
+
+    @property
+    def worst_case_multiplier(self) -> float:
+        """Largest multiplier any channel can reach (static design margin)."""
+        return self._worst_case
+
+    def process(self, channel: int) -> DriftProcess:
+        """The drift process of one channel."""
+        return self._processes[channel]
+
+    def multiplier(self, channel: int, time_s: float) -> float:
+        """Quantised raw-BER multiplier of ``channel`` at ``time_s``."""
+        raw = self._processes[channel].multiplier_at(time_s)
+        if raw <= 1.0:
+            return 1.0
+        quantized = round(math.log2(raw) * self._quantization) / self._quantization
+        return min(2.0 ** quantized, self.worst_case_multiplier)
+
+
+#: Built-in drift profiles selectable by name in the ``adaptive`` experiment.
+DRIFT_PROFILES = ("none", "thermal", "aging", "random-walk")
+
+
+def make_drift_model(
+    profile: str,
+    num_channels: int,
+    *,
+    seed: int | np.random.SeedSequence | None = None,
+    worst_case_multiplier: float = 16.0,
+    timescale_s: float = 5e-6,
+    options: Optional[Dict] = None,
+) -> Optional[ChannelDriftModel]:
+    """Build a named drift profile (``None`` for the static ``"none"``).
+
+    ``timescale_s`` anchors each profile's dynamics to the simulation
+    horizon: the thermal period equals the timescale (per-channel phases are
+    spread uniformly from the seed), the aging ramp stretches over four
+    timescales (the run covers early life) and the random walk steps every
+    ``timescale / 200``.  ``options`` may override the per-profile knobs
+    (``period_s``, ``ramp_time_s``, ``step_s``, ``log2_sigma``,
+    ``quantization_steps_per_octave``).
+    """
+    if profile not in DRIFT_PROFILES:
+        raise ConfigurationError(
+            f"unknown drift profile {profile!r}; available: {DRIFT_PROFILES}"
+        )
+    if profile == "none":
+        return None
+    if timescale_s <= 0.0:
+        raise ConfigurationError("drift timescale must be positive")
+    options = dict(options or {})
+    quantization = int(options.pop("quantization_steps_per_octave", 16))
+
+    if profile == "thermal":
+        period = float(options.pop("period_s", timescale_s))
+
+        def factory(channel: int, sequence: np.random.SeedSequence) -> DriftProcess:
+            phase = float(np.random.default_rng(sequence).uniform(0.0, 2.0 * math.pi))
+            return ThermalSinusoidDrift(
+                period_s=period,
+                peak_multiplier=worst_case_multiplier,
+                phase_rad=phase,
+            )
+
+    elif profile == "aging":
+        ramp_time = float(options.pop("ramp_time_s", 4.0 * timescale_s))
+
+        def factory(channel: int, sequence: np.random.SeedSequence) -> DriftProcess:
+            return AgingRampDrift(
+                ramp_multiplier=worst_case_multiplier, ramp_time_s=ramp_time
+            )
+
+    else:  # random-walk
+        step = float(options.pop("step_s", timescale_s / 200.0))
+        sigma = float(options.pop("log2_sigma", 0.25))
+
+        def factory(channel: int, sequence: np.random.SeedSequence) -> DriftProcess:
+            return RandomWalkDrift(
+                step_s=step,
+                max_multiplier=worst_case_multiplier,
+                log2_sigma=sigma,
+                seed=sequence,
+            )
+
+    if options:
+        raise ConfigurationError(f"unknown drift options {sorted(options)} for {profile!r}")
+    return ChannelDriftModel(
+        factory,
+        num_channels,
+        seed=seed,
+        quantization_steps_per_octave=quantization,
+    )

@@ -44,10 +44,12 @@ from ..interconnect.mwsr import MWSRChannel
 from ..link.design import OpticalLinkDesigner
 from ..manager.manager import CommunicationRequest, LinkConfiguration, OpticalLinkManager
 from ..manager.policies import SelectionPolicy
+from ..manager.runtime import AdaptiveEccController
 from ..simulation.faults import IndependentErrorModel
 from ..traffic.generators import TrafficRequest
+from .dynamics import ChannelDriftModel
 from .events import EventKind, EventQueue
-from .metrics import NetworkMetrics, compute_metrics
+from .metrics import IntervalTrace, NetworkMetrics, build_interval_trace, compute_metrics
 from .outcomes import (
     BitExactOutcomeSampler,
     ProbabilisticOutcomeSampler,
@@ -105,6 +107,10 @@ class NetworkResult:
     num_channels: int
     warmup_fraction: float
     events_processed: int
+    #: Online-control accounting (zero / ``None`` without a controller).
+    configuration_switches: int = 0
+    reconfiguration_energy_j: float = 0.0
+    interval_trace: List[IntervalTrace] | None = None
 
     def metrics(self, warmup_fraction: float | None = None) -> NetworkMetrics:
         """Aggregate the records (optionally overriding the warm-up trim)."""
@@ -115,6 +121,8 @@ class NetworkResult:
             warmup_fraction=(
                 self.warmup_fraction if warmup_fraction is None else warmup_fraction
             ),
+            configuration_switches=self.configuration_switches,
+            reconfiguration_energy_j=self.reconfiguration_energy_j,
         )
 
     @property
@@ -137,6 +145,9 @@ class _RunState:
     #: entry — otherwise an earlier completion would drop the
     #: configuration of a transfer still occupying the channel.
     active_pairs: Dict[tuple, int] = field(default_factory=dict)
+    #: Interval-trace accumulators: bucket index -> [energy_j, packets_sent,
+    #: transfers_completed, latency_sum_s, switches].
+    trace: Dict[int, list] = field(default_factory=dict)
 
 
 @dataclass(slots=True)
@@ -157,6 +168,10 @@ class _TransferState:
     residual_bit_errors: int = 0
     coded_bits_sent: int = 0
     energy_j: float = 0.0
+    #: Design-point raw BER of the configuration (set when dynamics are
+    #: active) and the drift-degraded raw BER of the current attempt.
+    design_raw_ber: float = 0.0
+    attempt_raw_ber: float | None = None
 
 
 class NetworkSimulator:
@@ -200,6 +215,26 @@ class NetworkSimulator:
     warmup_fraction:
         Leading fraction of completed transfers excluded from the latency
         summary (queues fill during warm-up).
+    dynamics:
+        Optional :class:`~repro.netsim.dynamics.ChannelDriftModel` making
+        the raw channel BER time-varying (``raw(t) = raw_design * m(t)``
+        per destination channel).  Probabilistic mode only, and mutually
+        exclusive with a custom ``fault_model``.
+    controller:
+        Optional :class:`~repro.manager.runtime.AdaptiveEccController`
+        choosing each transfer's drift margin online (static worst-case /
+        adaptive / oracle).  Level switches charge the controller's
+        reconfiguration latency (the channel is blocked) and energy.
+    telemetry_seed:
+        Seed of the *telemetry* stream the adaptive controller's failure
+        monitor samples from.  Kept separate from ``rng``/``seed`` so
+        enabling the controller never perturbs the engine's main stream —
+        a zero-drift adaptive run is byte-identical to a static one.  Pass
+        a seed for reproducible adaptive runs.
+    trace_interval_s:
+        When set, the run accumulates per-interval energy/latency/switch
+        traces (:class:`~repro.netsim.metrics.IntervalTrace`) of this
+        width on ``NetworkResult.interval_trace``.
     """
 
     def __init__(
@@ -216,6 +251,10 @@ class NetworkSimulator:
         rng: np.random.Generator | None = None,
         seed: int | np.random.SeedSequence | None = None,
         warmup_fraction: float = 0.1,
+        dynamics: ChannelDriftModel | None = None,
+        controller: AdaptiveEccController | None = None,
+        telemetry_seed: int | np.random.SeedSequence | None = None,
+        trace_interval_s: float | None = None,
     ):
         if mode not in MODES:
             raise ConfigurationError(f"unknown mode {mode!r}; available: {MODES}")
@@ -225,6 +264,26 @@ class NetworkSimulator:
             raise ConfigurationError("retry budget cannot be negative")
         if not 0.0 <= warmup_fraction < 1.0:
             raise ConfigurationError("warm-up fraction must lie in [0, 1)")
+        if dynamics is not None and mode != "probabilistic":
+            raise ConfigurationError(
+                "time-varying channels are only supported in probabilistic mode"
+            )
+        if (
+            controller is not None
+            and controller.wants_observations
+            and mode != "probabilistic"
+        ):
+            raise ConfigurationError(
+                "the adaptive controller's failure monitor samples analytic "
+                "correction telemetry; it is only supported in probabilistic mode"
+            )
+        if dynamics is not None and fault_model is not None:
+            raise ConfigurationError(
+                "a custom fault model fixes the raw BER; it cannot be combined "
+                "with channel dynamics"
+            )
+        if trace_interval_s is not None and trace_interval_s <= 0.0:
+            raise ConfigurationError("trace interval must be positive")
         self.config = config
         self.manager = manager if manager is not None else OpticalLinkManager(config=config)
         self.policy = policy
@@ -235,6 +294,10 @@ class NetworkSimulator:
         self.warmup_fraction = float(warmup_fraction)
         self._fault_model = fault_model
         self._rng = resolve_rng(rng, seed)
+        self._dynamics = dynamics
+        self._controller = controller
+        self._telemetry_rng = resolve_rng(None, telemetry_seed)
+        self._trace_interval_s = trace_interval_s
         self._designer = OpticalLinkDesigner(config=config)
         self._codes_by_name = {code.name: code for code in self.manager.codes}
         self._samplers: Dict[tuple, object] = {}
@@ -254,16 +317,18 @@ class NetworkSimulator:
     def _raw_ber_for(self, configuration: LinkConfiguration) -> float:
         """Raw channel BER of the selected operating point.
 
-        The designer memoizes the solved point per (code, target), so this
-        is a dictionary lookup after the first request.
+        Solved at the configuration's *design* target — the drift-derated
+        one when a margin was provisioned.  The designer memoizes the point
+        per (code, target), so this is a dictionary lookup after the first
+        request.
         """
         code = self._codes_by_name[configuration.code_name]
-        point = self._designer.design_point(code, configuration.request.target_ber)
+        point = self._designer.design_point(code, configuration.design_target_ber)
         return float(point.raw_channel_ber)
 
     def _sampler_for(self, configuration: LinkConfiguration):
-        """Outcome sampler of one (code, target BER) configuration (cached)."""
-        key = (configuration.code_name, float(configuration.request.target_ber))
+        """Outcome sampler of one (code, design target BER) configuration (cached)."""
+        key = (configuration.code_name, float(configuration.design_target_ber))
         if key not in self._samplers:
             code = self._codes_by_name[configuration.code_name]
             raw_ber = (
@@ -299,6 +364,8 @@ class NetworkSimulator:
     def run(self, requests: Iterable[TrafficRequest]) -> NetworkResult:
         """Simulate a finite request sequence to completion."""
         run = _RunState()
+        if self._controller is not None:
+            self._controller.reset()
         count = 0
         for request in requests:
             run.queue.push(request.arrival_time_s, EventKind.ARRIVAL, request)
@@ -329,6 +396,51 @@ class NetworkSimulator:
             num_channels=self.config.num_onis,
             warmup_fraction=self.warmup_fraction,
             events_processed=run.queue.events_processed,
+            configuration_switches=(
+                self._controller.switch_count if self._controller is not None else 0
+            ),
+            reconfiguration_energy_j=(
+                self._controller.reconfiguration_energy_j
+                if self._controller is not None
+                else 0.0
+            ),
+            interval_trace=(
+                build_interval_trace(run.trace, self._trace_interval_s)
+                if self._trace_interval_s is not None
+                else None
+            ),
+        )
+
+    def _charge_trace(
+        self,
+        run: _RunState,
+        time_s: float,
+        *,
+        energy_j: float = 0.0,
+        packets: int = 0,
+        completed: int = 0,
+        latency_s: float = 0.0,
+        switches: int = 0,
+    ) -> None:
+        """Accumulate one event's contribution to the interval trace."""
+        if self._trace_interval_s is None:
+            return
+        bucket = run.trace.setdefault(
+            int(time_s // self._trace_interval_s), [0.0, 0, 0, 0.0, 0]
+        )
+        bucket[0] += energy_j
+        bucket[1] += packets
+        bucket[2] += completed
+        bucket[3] += latency_s
+        bucket[4] += switches
+
+    def _record_switch(self, run: _RunState, time_s: float) -> None:
+        """Trace one controller level switch (its energy is charged here)."""
+        self._charge_trace(
+            run,
+            time_s,
+            energy_j=self._controller.switch_energy_j,
+            switches=1,
         )
 
     def _handle_arrival(self, now_s, request, run: _RunState) -> None:
@@ -339,8 +451,20 @@ class NetworkSimulator:
             payload_bits=request.payload_bits,
             policy=self.policy,
         )
+        margin = 1.0
+        if self._controller is not None:
+            multiplier = (
+                self._dynamics.multiplier(request.destination, now_s)
+                if self._dynamics is not None
+                else 1.0
+            )
+            margin, switched = self._controller.margin_for(
+                request.destination, now_s, true_multiplier=multiplier
+            )
+            if switched:
+                self._record_switch(run, now_s)
         try:
-            configuration = self.manager.configure(communication)
+            configuration = self.manager.configure(communication, margin_multiplier=margin)
         except InfeasibleDesignError:
             run.records.append(
                 NetTransferRecord(
@@ -373,6 +497,8 @@ class NetworkSimulator:
             packets_remaining=packets,
             retries_left=self.max_retries if self.crc is not None else 0,
         )
+        if self._dynamics is not None:
+            state.design_raw_ber = self._raw_ber_for(configuration)
         pair = (request.source, request.destination)
         run.active_pairs[pair] = run.active_pairs.get(pair, 0) + 1
         self._schedule_attempt(state, now_s, run)
@@ -390,8 +516,14 @@ class NetworkSimulator:
             * state.sampler.coded_bits_per_packet
             / self.channel_rate_bits_per_s
         )
-        arbiter = self._arbiter_for(state.request.destination, run.arbiters)
-        start_s = arbiter.request(state.request.source, now_s, duration_s)
+        destination = state.request.destination
+        request_time_s = now_s
+        if self._controller is not None:
+            # A channel mid-reconfiguration (lasers re-locking, coder mode
+            # switching) cannot accept the next transfer until it finishes.
+            request_time_s = max(now_s, self._controller.blocked_until(destination))
+        arbiter = self._arbiter_for(destination, run.arbiters)
+        start_s = arbiter.request(state.request.source, request_time_s, duration_s)
         if state.first_start_s < 0.0:
             state.first_start_s = start_s
         state.attempts += 1
@@ -400,14 +532,28 @@ class NetworkSimulator:
         channel_power_w = (
             state.configuration.channel_power_w * self.config.num_wavelengths
         )
-        state.energy_j += channel_power_w * duration_s
-        run.busy_s[state.request.destination] = (
-            run.busy_s.get(state.request.destination, 0.0) + duration_s
+        attempt_energy_j = channel_power_w * duration_s
+        state.energy_j += attempt_energy_j
+        if self._dynamics is not None:
+            # The attempt is corrupted at the channel conditions of its
+            # serialisation start.
+            multiplier = self._dynamics.multiplier(destination, start_s)
+            state.attempt_raw_ber = min(1.0, state.design_raw_ber * multiplier)
+        self._charge_trace(
+            run, start_s, energy_j=attempt_energy_j, packets=state.packets_remaining
         )
+        run.busy_s[destination] = run.busy_s.get(destination, 0.0) + duration_s
         run.queue.push(start_s + duration_s, EventKind.DEPARTURE, state)
 
     def _handle_departure(self, now_s, state, run: _RunState) -> None:
-        outcome = state.sampler.sample(state.packets_remaining)
+        if state.attempt_raw_ber is not None:
+            outcome = state.sampler.sample(
+                state.packets_remaining, raw_ber=state.attempt_raw_ber
+            )
+        else:
+            outcome = state.sampler.sample(state.packets_remaining)
+        if self._controller is not None and self._controller.wants_observations:
+            self._feed_controller(now_s, state, outcome, run)
         state.packets_delivered += outcome.delivered
         state.packets_with_residual_errors += outcome.delivered_with_errors
         state.residual_bit_errors += outcome.residual_bit_errors
@@ -437,8 +583,37 @@ class NetworkSimulator:
                 energy_j=state.energy_j,
             )
         )
+        self._charge_trace(
+            run, now_s, completed=1, latency_s=now_s - request.arrival_time_s
+        )
         pair = (request.source, request.destination)
         run.active_pairs[pair] -= 1
         if run.active_pairs[pair] == 0:
             del run.active_pairs[pair]
             self.manager.release(request.source, request.destination)
+
+    def _feed_controller(self, now_s, state, outcome, run: _RunState) -> None:
+        """Sample the attempt's failure telemetry and feed the monitor.
+
+        The receiver-visible telemetry is the number of ECC blocks the
+        decoder had to correct plus the CRC-detected packet failures.
+        Correction events are sampled from the *telemetry* stream — never
+        the engine's main generator — so enabling the monitor does not
+        perturb packet outcomes.  (The CRC failures are drawn independently
+        of the correction draw; the double count is negligible at operating
+        points where corrections dominate failures by orders of magnitude.)
+        """
+        sampler = state.sampler
+        blocks = outcome.packets * sampler.blocks_per_packet
+        disturb = sampler.block_disturb_probability(state.attempt_raw_ber)
+        observed = float(self._telemetry_rng.binomial(blocks, disturb))
+        expected = blocks * sampler.block_disturb_probability()
+        switched = self._controller.observe(
+            state.request.destination,
+            now_s,
+            blocks=blocks,
+            observed_events=observed + outcome.failed_detected,
+            expected_events=expected,
+        )
+        if switched:
+            self._record_switch(run, now_s)

@@ -18,21 +18,31 @@ import numpy as np
 
 from ..exceptions import ConfigurationError
 
-__all__ = ["LatencySummary", "NetworkMetrics", "nearest_rank_percentile", "compute_metrics"]
+__all__ = [
+    "LatencySummary",
+    "NetworkMetrics",
+    "IntervalTrace",
+    "nearest_rank_percentile",
+    "compute_metrics",
+    "build_interval_trace",
+]
 
 
 def nearest_rank_percentile(sorted_samples: np.ndarray, percentile: float) -> float:
     """Nearest-rank percentile of an ascending sample vector.
 
     Deterministic and interpolation-free, so serial and sharded sweeps
-    report byte-identical values.
+    report byte-identical values.  The nearest-rank definition
+    ``rank = ceil(p/100 * N)`` is undefined at ``p = 0`` (rank 0), so the
+    percentile must lie in ``(0, 100]``; out-of-range arguments raise
+    instead of silently clamping to the minimum sample.
     """
-    if not 0.0 <= percentile <= 100.0:
-        raise ConfigurationError("percentile must lie in [0, 100]")
+    if not 0.0 < percentile <= 100.0:
+        raise ConfigurationError("percentile must lie in (0, 100]")
     if sorted_samples.size == 0:
         return 0.0
     rank = int(np.ceil(percentile / 100.0 * sorted_samples.size))
-    return float(sorted_samples[max(rank, 1) - 1])
+    return float(sorted_samples[rank - 1])
 
 
 @dataclass(frozen=True)
@@ -77,6 +87,69 @@ class LatencySummary:
 
 
 @dataclass(frozen=True)
+class IntervalTrace:
+    """Per-interval activity of a run (the adaptive experiment's time series).
+
+    One row per fixed-width simulation-time interval: channel energy charged
+    in the interval (reconfiguration energy included), packets sent,
+    transfers completed, their mean latency, and how many configuration
+    switches the controller performed.
+    """
+
+    interval: int
+    start_s: float
+    energy_j: float
+    packets_sent: int
+    transfers_completed: int
+    mean_latency_s: float
+    switches: int
+
+    def as_dict(self) -> dict:
+        """Plain-scalar view for JSON payloads."""
+        return {
+            "interval": self.interval,
+            "start_s": self.start_s,
+            "energy_j": self.energy_j,
+            "packets_sent": self.packets_sent,
+            "transfers_completed": self.transfers_completed,
+            "mean_latency_s": self.mean_latency_s,
+            "switches": self.switches,
+        }
+
+
+def build_interval_trace(
+    buckets: Mapping[int, Sequence[float]], interval_s: float
+) -> list[IntervalTrace]:
+    """Reduce the engine's raw interval accumulators to trace rows.
+
+    ``buckets`` maps interval index to ``[energy_j, packets_sent,
+    transfers_completed, latency_sum_s, switches]``; gaps between occupied
+    intervals are filled with zero rows so the series plots contiguously.
+    """
+    if interval_s <= 0.0:
+        raise ConfigurationError("trace interval must be positive")
+    if not buckets:
+        return []
+    rows = []
+    for index in range(max(buckets) + 1):
+        energy, packets, completed, latency_sum, switches = buckets.get(
+            index, (0.0, 0, 0, 0.0, 0)
+        )
+        rows.append(
+            IntervalTrace(
+                interval=index,
+                start_s=index * interval_s,
+                energy_j=float(energy),
+                packets_sent=int(packets),
+                transfers_completed=int(completed),
+                mean_latency_s=float(latency_sum / completed) if completed else 0.0,
+                switches=int(switches),
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
 class NetworkMetrics:
     """Network-level figures of one simulation run."""
 
@@ -96,6 +169,11 @@ class NetworkMetrics:
     packets_dropped: int
     packets_with_residual_errors: int
     residual_bit_errors: int
+    #: Online-control accounting: configuration switches performed by the
+    #: adaptive controller and the reconfiguration energy they charged.
+    #: ``total_energy_j`` already includes the reconfiguration energy.
+    configuration_switches: int = 0
+    reconfiguration_energy_j: float = 0.0
 
     @property
     def mean_channel_utilization(self) -> float:
@@ -162,6 +240,9 @@ class NetworkMetrics:
             "retransmission_rate": self.retransmission_rate,
             "delivered_packet_error_rate": self.delivered_packet_error_rate,
             "delivered_bit_error_rate": self.delivered_bit_error_rate,
+            "configuration_switches": self.configuration_switches,
+            "reconfiguration_energy_j": self.reconfiguration_energy_j,
+            "total_energy_j": self.total_energy_j,
         }
 
 
@@ -171,6 +252,8 @@ def compute_metrics(
     busy_s_by_reader: Mapping[int, float],
     num_channels: int,
     warmup_fraction: float,
+    configuration_switches: int = 0,
+    reconfiguration_energy_j: float = 0.0,
 ) -> NetworkMetrics:
     """Reduce the engine's transfer records to :class:`NetworkMetrics`.
 
@@ -209,7 +292,9 @@ def compute_metrics(
         offered_throughput_bits_per_s=(offered / sim_end if sim_end > 0 else 0.0),
         delivered_throughput_bits_per_s=(delivered / sim_end if sim_end > 0 else 0.0),
         channel_utilization=utilization,
-        total_energy_j=float(sum(record.energy_j for record in completed)),
+        total_energy_j=float(
+            sum(record.energy_j for record in completed) + reconfiguration_energy_j
+        ),
         packets_sent=int(sum(record.packets_sent for record in completed)),
         packets_delivered=int(sum(record.packets_delivered for record in completed)),
         packets_dropped=int(sum(record.packets_dropped for record in completed)),
@@ -217,4 +302,6 @@ def compute_metrics(
             sum(record.packets_with_residual_errors for record in completed)
         ),
         residual_bit_errors=int(sum(record.residual_bit_errors for record in completed)),
+        configuration_switches=int(configuration_switches),
+        reconfiguration_energy_j=float(reconfiguration_energy_j),
     )

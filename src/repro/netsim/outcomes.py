@@ -155,45 +155,93 @@ class ProbabilisticOutcomeSampler:
         self.blocks_per_packet = _frame_geometry(code, packet_bits, self.crc_width)
         self._rng = rng
 
-        t = int(getattr(code, "correctable_errors", 0))
-        n, k = int(code.n), int(code.k)
-        self.block_failure_probability = block_error_probability(self.raw_ber, n, t)
         #: Probability a failed packet passes the CRC anyway (random-error
         #: approximation: a uniformly random remainder matches with 2^-w).
         self.undetected_probability = 2.0 ** (-self.crc_width) if self.crc_width else 1.0
+        #: Fraction of the packet's frame occupied by payload.  Residual
+        #: errors land uniformly over the frame's message bits; those in the
+        #: CRC slot or the zero padding do not corrupt payload, so the
+        #: sampled counts are thinned by this fraction — mirroring the
+        #: bit-exact sampler, which only compares the payload columns.
+        self._payload_fraction = self.packet_bits / (self.blocks_per_packet * int(code.k))
+        #: (block failure probability, residual rate) per raw BER.  With a
+        #: time-varying channel the engine passes the drifted raw BER per
+        #: attempt; the drift model quantises its multipliers, so this cache
+        #: stays small.
+        self._failure_params: dict[float, tuple[float, float]] = {}
+        self._disturb_cache: dict[float, float] = {}
+        self.block_failure_probability, self._residual_rate = self._params_for(self.raw_ber)
+
+    def _params_for(self, raw_ber: float) -> tuple[float, float]:
+        """Block failure probability and residual-bit rate at one raw BER."""
+        cached = self._failure_params.get(raw_ber)
+        if cached is not None:
+            return cached
+        if not 0.0 <= raw_ber <= 1.0:
+            raise ConfigurationError("raw BER must lie in [0, 1]")
+        t = int(getattr(self.code, "correctable_errors", 0))
+        n, k = int(self.code.n), int(self.code.k)
+        failure = block_error_probability(raw_ber, n, t)
         # Conditional mean residual message-bit errors per *failed* block.
         # For t >= 1 the dominant failure event (t+1 channel errors) leaves a
         # weight-(2t+1) codeword error, of which k/n lands in message bits;
         # for t = 0 it is the mean raw error count conditioned on >= 1.
         if t >= 1:
             mean = (2 * t + 1) * k / n
-        elif self.block_failure_probability > 0.0:
-            mean = n * self.raw_ber / self.block_failure_probability * (k / n)
+        elif failure > 0.0:
+            mean = n * raw_ber / failure * (k / n)
         else:
             mean = 1.0
         mean = min(float(k), max(1.0, mean))
-        #: Per-bit rate of the 1 + Binomial(k-1, r) residual draw whose mean
-        #: matches the conditional expectation above.
-        self._residual_rate = (mean - 1.0) / (k - 1) if k > 1 else 0.0
-        #: Fraction of the packet's frame occupied by payload.  Residual
-        #: errors land uniformly over the frame's message bits; those in the
-        #: CRC slot or the zero padding do not corrupt payload, so the
-        #: sampled counts are thinned by this fraction — mirroring the
-        #: bit-exact sampler, which only compares the payload columns.
-        self._payload_fraction = self.packet_bits / (self.blocks_per_packet * k)
+        # Per-bit rate of the 1 + Binomial(k-1, r) residual draw whose mean
+        # matches the conditional expectation above.
+        residual_rate = (mean - 1.0) / (k - 1) if k > 1 else 0.0
+        self._failure_params[raw_ber] = (failure, residual_rate)
+        return failure, residual_rate
+
+    def block_disturb_probability(self, raw_ber: float | None = None) -> float:
+        """Probability one block suffers at least one raw channel flip.
+
+        This is the receiver-visible event rate of the decoder's correction
+        telemetry — the signal the adaptive controller's failure monitor
+        feeds on.  Much larger than the block *failure* probability at the
+        design points the links operate at, which is what makes drift
+        observable within a simulation's packet budget.
+        """
+        p = self.raw_ber if raw_ber is None else float(raw_ber)
+        cached = self._disturb_cache.get(p)
+        if cached is None:
+            if not 0.0 <= p <= 1.0:
+                raise ConfigurationError("raw BER must lie in [0, 1]")
+            cached = float(-np.expm1(int(self.code.n) * np.log1p(-p))) if p < 1.0 else 1.0
+            self._disturb_cache[p] = cached
+        return cached
 
     @property
     def coded_bits_per_packet(self) -> int:
         """Wire bits occupied by one packet (blocks x n)."""
         return self.blocks_per_packet * int(self.code.n)
 
-    def sample(self, num_packets: int) -> TransmissionOutcome:
-        """Draw the outcome of transmitting ``num_packets`` packets."""
+    def sample(self, num_packets: int, *, raw_ber: float | None = None) -> TransmissionOutcome:
+        """Draw the outcome of transmitting ``num_packets`` packets.
+
+        ``raw_ber`` overrides the channel's raw error probability for this
+        attempt (the engine passes the drift-degraded value under a
+        time-varying channel).  No extra randomness is consumed for the
+        override itself, and an override equal to the design BER reproduces
+        the static channel draw for draw — which is what makes a zero-drift
+        adaptive run byte-identical to today's static engine.
+        """
         if num_packets < 1:
             raise ConfigurationError("an attempt must carry at least one packet")
+        failure_probability, residual_rate = (
+            (self.block_failure_probability, self._residual_rate)
+            if raw_ber is None
+            else self._params_for(float(raw_ber))
+        )
         rng = self._rng
         shape = (num_packets, self.blocks_per_packet)
-        failed_blocks = rng.random(shape) < self.block_failure_probability
+        failed_blocks = rng.random(shape) < failure_probability
         packet_failed = failed_blocks.any(axis=1)
         failed_indices = np.nonzero(packet_failed)[0]
         if failed_indices.size == 0:
@@ -210,9 +258,9 @@ class ProbabilisticOutcomeSampler:
         if delivered_failed.size:
             blocks_in_error = int(failed_blocks[delivered_failed].sum())
             residual = blocks_in_error
-            if self._residual_rate > 0.0 and self.code.k > 1:
+            if residual_rate > 0.0 and self.code.k > 1:
                 residual += int(
-                    rng.binomial(self.code.k - 1, self._residual_rate, size=blocks_in_error).sum()
+                    rng.binomial(self.code.k - 1, residual_rate, size=blocks_in_error).sum()
                 )
             if self._payload_fraction < 1.0 and residual:
                 residual = int(rng.binomial(residual, self._payload_fraction))

@@ -44,14 +44,30 @@ class TestNearestRankPercentile:
         assert nearest_rank_percentile(samples, 50.0) == 5.0
         assert nearest_rank_percentile(samples, 95.0) == 10.0
         assert nearest_rank_percentile(samples, 100.0) == 10.0
-        assert nearest_rank_percentile(samples, 0.0) == 1.0
+        assert nearest_rank_percentile(samples, 10.0) == 1.0
 
     def test_empty_vector_gives_zero(self):
         assert nearest_rank_percentile(np.array([]), 50.0) == 0.0
 
-    def test_out_of_range_rejected(self):
+    def test_single_sample_is_every_percentile(self):
+        samples = np.array([7.25])
+        for percentile in (1e-9, 1.0, 50.0, 99.0, 100.0):
+            assert nearest_rank_percentile(samples, percentile) == 7.25
+
+    def test_p100_is_the_maximum(self):
+        samples = np.array([1.0, 2.0, 3.0])
+        assert nearest_rank_percentile(samples, 100.0) == 3.0
+
+    @pytest.mark.parametrize("percentile", [0.0, -1.0, -50.0, 100.0001, 101.0, 1000.0])
+    def test_out_of_range_rejected(self, percentile):
         with pytest.raises(ConfigurationError):
-            nearest_rank_percentile(np.array([1.0]), 101.0)
+            nearest_rank_percentile(np.array([1.0]), percentile)
+
+    def test_tiny_percentile_hits_first_sample_without_clamping(self):
+        # rank = ceil(p/100 * N) is already >= 1 for every valid p; the old
+        # max(rank, 1) clamp only ever masked the invalid p = 0 case.
+        samples = np.array([1.0, 2.0, 3.0, 4.0])
+        assert nearest_rank_percentile(samples, 0.001) == 1.0
 
 
 class TestLatencySummary:
