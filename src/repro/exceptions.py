@@ -18,6 +18,8 @@ __all__ = [
     "LaserPowerExceededError",
     "InfeasibleDesignError",
     "ArbitrationError",
+    "SimulationError",
+    "ShardExecutionError",
 ]
 
 
@@ -70,3 +72,32 @@ class InfeasibleDesignError(ReproError):
 
 class ArbitrationError(ReproError):
     """A channel-access request could not be satisfied."""
+
+
+class SimulationError(ReproError):
+    """An event handler failed mid-drain in the discrete-event engine.
+
+    Wraps the original error with the failing event's kind, simulation time
+    and position in the event stream, so a crash deep inside a controller or
+    sampler still says *which* event broke the run.  The event queue itself
+    is never left torn: the failing event was already popped, and no handler
+    runs after the error surfaces.
+    """
+
+
+class ShardExecutionError(ReproError):
+    """A sweep shard failed (worker crash, hang or an in-shard exception).
+
+    Carries the experiment name, the shard's grid index and its parameter
+    dict so a pooled sweep's failure names the exact grid point that died
+    instead of an anonymous worker traceback.
+    """
+
+    def __init__(self, experiment: str, index: int, params: dict, reason: str):
+        self.experiment = str(experiment)
+        self.index = int(index)
+        self.params = dict(params)
+        super().__init__(
+            f"shard {index} of experiment {experiment!r} failed ({reason}); "
+            f"shard params: {self.params!r}"
+        )

@@ -24,9 +24,13 @@ figure6b  Power vs communication-time Pareto trade-off (Figure 6b)
 headline  Headline claims: ~50% laser power cut, 92% laser share, 22 W saved
 validation Monte-Carlo validation of Eq. 2/3 with the batched link simulator
 network   Discrete-event load sweep of the managed ring (pattern x rate x policy)
+adaptive  Online adaptive-ECC control vs static worst-case under channel drift
+availability Hard-fault tolerance: graceful degradation vs blind retransmission
 ======== ==================================================================
 """
 
+from .adaptive import AdaptiveSweepResult, run_adaptive
+from .availability import AvailabilitySweepResult, run_availability
 from .orchestrator import ExperimentGrid, available_experiments, describe_grid, run_experiment
 from .table1 import Table1Result, run_table1
 from .figure3 import Figure3Result, run_figure3
@@ -64,4 +68,8 @@ __all__ = [
     "run_validation",
     "NetworkSweepResult",
     "run_network",
+    "AdaptiveSweepResult",
+    "run_adaptive",
+    "AvailabilitySweepResult",
+    "run_availability",
 ]

@@ -1,0 +1,354 @@
+"""Experiment ``availability``: graceful degradation under hard faults.
+
+The adaptive experiment shows the manager riding out *soft* drift; this one
+injects *hard* faults (:mod:`repro.netsim.failures` — lane fails, stuck
+rings, laser droop, transient blackouts) and compares how three management
+policies degrade on identical traffic and fault timelines:
+
+``static``
+    No online control at all: every transfer is provisioned at margin 1 and
+    the ARQ blindly retransmits into whatever is left of the channel —
+    including a dark one.  This is the paper's static design facing faults
+    it was never told about.
+``adaptive``
+    The online controller (:class:`~repro.manager.runtime.AdaptiveEccController`)
+    reacts to the receiver's failure telemetry and escalates the ECC margin,
+    but has no notion of lost wavelengths or blackouts.
+``degradation-ladder``
+    The full graceful-degradation ladder
+    (:class:`~repro.manager.policies.DegradationLadder`): remap onto the
+    surviving wavelengths, escalate the ECC margin against droop, derate
+    the data rate when the margin ladder tops out, and declare the channel
+    down (bounded, backed-off retries with a per-transfer timeout) instead
+    of burning energy on a dead lane.
+
+Per grid point (fault scenario x policy x load) the payload carries the full
+network metrics — availability, drop rate, CRC-escape rate, retries,
+recovery statistics — plus the per-interval trace; the merge step annotates
+every row against the static policy of the same (scenario, load) point.
+
+One shard per grid point, each rebuilding traffic / engine / fault /
+telemetry generators from ``SeedSequence(seed, spawn_key=(pair_index,
+stream))``, so ``repro-experiments availability --jobs N`` is byte-identical
+to the serial run and all policies of a pair face literally the same faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..config import DEFAULT_CONFIG, PaperConfig
+from ..exceptions import ConfigurationError
+from ..manager.policies import (
+    DegradationLadder,
+    FailureRateMonitor,
+    HysteresisSwitchingPolicy,
+    MinimumPowerPolicy,
+    margin_levels,
+)
+from ..manager.runtime import AdaptiveEccController
+from ..netsim import NetworkSimulator, make_fault_model
+from ..netsim.failures import FAULT_SCENARIOS
+from ..traffic.generators import UniformTrafficGenerator
+from .network import request_rate_for_load
+
+__all__ = [
+    "AvailabilitySweepResult",
+    "run_availability",
+    "sweep_shards",
+    "run_sweep_shard",
+    "merge_sweep",
+    "DEFAULT_SCENARIOS",
+    "DEFAULT_POLICIES",
+    "DEFAULT_LOADS",
+]
+
+#: Default sweep axes: one representative scenario per fault primitive (the
+#: fault-free baseline, a permanent outage, a transient one and the mix),
+#: all three policies, one moderate load.
+DEFAULT_SCENARIOS: tuple[str, ...] = ("none", "lane-fail", "blackout", "mixed")
+DEFAULT_POLICIES: tuple[str, ...] = ("static", "adaptive", "degradation-ladder")
+DEFAULT_LOADS: tuple[float, ...] = (0.5,)
+DEFAULT_NUM_REQUESTS = 1000
+DEFAULT_PAYLOAD_BITS = 4096
+DEFAULT_TARGET_BER = 1e-9
+DEFAULT_SEED = 20261
+#: Trace resolution: intervals per (estimated) simulation horizon.
+TRACE_INTERVALS = 20
+
+
+def _shard_defaults(options: dict) -> dict:
+    """The JSON-serializable per-shard knobs shared by every grid point."""
+    return {
+        "num_requests": int(options.get("num_requests", DEFAULT_NUM_REQUESTS)),
+        "payload_bits": int(options.get("payload_bits", DEFAULT_PAYLOAD_BITS)),
+        "target_ber": float(options.get("target_ber", DEFAULT_TARGET_BER)),
+        "packet_bits": int(options.get("packet_bits", 512)),
+        "max_retries": int(options.get("max_retries", 4)),
+        "warmup_fraction": float(options.get("warmup_fraction", 0.1)),
+        "margin_ratio": float(options.get("margin_ratio", 2.0)),
+        "monitor_window_blocks": int(options.get("monitor_window_blocks", 8192)),
+        "fault_fraction": float(options.get("fault_fraction", 0.5)),
+        "peak_droop_penalty": float(options.get("peak_droop_penalty", 8.0)),
+        #: ARQ backoff base and per-transfer timeout of the ladder policy,
+        #: as fractions of the simulation horizon (they scale with load).
+        "backoff_horizon_fraction": float(options.get("backoff_horizon_fraction", 0.01)),
+        "timeout_horizon_fraction": float(options.get("timeout_horizon_fraction", 0.5)),
+        "max_derate_factor": float(options.get("max_derate_factor", 8.0)),
+        "seed": int(options.get("seed", DEFAULT_SEED)),
+    }
+
+
+# ------------------------------------------------------------------ grid API
+def sweep_shards(config: PaperConfig = DEFAULT_CONFIG, options: dict | None = None) -> list[dict]:
+    """Grid descriptor: one shard per (fault scenario, policy, load) point.
+
+    ``options`` may override ``scenarios``, ``policies``, ``loads`` and
+    every knob listed in :func:`_shard_defaults` (all JSON-serializable;
+    they become part of the checkpoint fingerprint).
+    """
+    options = options or {}
+    scenarios = list(options.get("scenarios", DEFAULT_SCENARIOS))
+    policies = list(options.get("policies", DEFAULT_POLICIES))
+    loads = [float(load) for load in options.get("loads", DEFAULT_LOADS)]
+    for scenario in scenarios:
+        if scenario not in FAULT_SCENARIOS:
+            raise ConfigurationError(
+                f"unknown fault scenario {scenario!r}; available: {FAULT_SCENARIOS}"
+            )
+    for policy in policies:
+        if policy not in DEFAULT_POLICIES:
+            raise ConfigurationError(
+                f"unknown policy {policy!r}; available: {DEFAULT_POLICIES}"
+            )
+    defaults = _shard_defaults(options)
+    shards = []
+    pair_index = 0
+    for scenario in scenarios:
+        for load in loads:
+            for policy in policies:
+                shard = dict(defaults)
+                # Every policy of one (scenario, load) pair shares the
+                # pair's seed streams, so the policies are compared on
+                # literally the same traffic and fault timelines.
+                shard.update(
+                    {
+                        "scenario": scenario,
+                        "policy": policy,
+                        "load": load,
+                        "pair_index": pair_index,
+                    }
+                )
+                shards.append(shard)
+            pair_index += 1
+    return shards
+
+
+def run_sweep_shard(params: dict, config: PaperConfig = DEFAULT_CONFIG) -> dict:
+    """Worker: simulate one (scenario, policy, load) point; JSON payload.
+
+    Four independent per-point streams are derived from the grid position —
+    traffic (0), engine (1), fault timelines (2) and monitor telemetry (3)
+    — so the payload depends only on the shard parameters, which is what
+    makes parallel sweeps byte-identical to serial ones.
+    """
+    seed = params["seed"]
+    streams = {
+        name: np.random.SeedSequence(seed, spawn_key=(params["pair_index"], stream))
+        for stream, name in enumerate(("traffic", "engine", "faults", "telemetry"))
+    }
+    rate_hz = request_rate_for_load(params["load"], config, payload_bits=params["payload_bits"])
+    generator = UniformTrafficGenerator(
+        config.num_onis,
+        mean_request_rate_hz=rate_hz,
+        payload_bits=params["payload_bits"],
+        target_ber=params["target_ber"],
+        seed=streams["traffic"],
+    )
+    horizon_s = params["num_requests"] / rate_hz
+    failures = make_fault_model(
+        params["scenario"],
+        config.num_onis,
+        config.num_wavelengths,
+        seed=streams["faults"],
+        horizon_s=horizon_s,
+        options={
+            "fault_fraction": params["fault_fraction"],
+            "peak_droop_penalty": params["peak_droop_penalty"],
+        },
+    )
+    worst = failures.worst_case_penalty if failures is not None else 1.0
+    margins = margin_levels(
+        max(worst, params["peak_droop_penalty"]), ratio=params["margin_ratio"]
+    )
+    policy = params["policy"]
+    controller = None
+    degradation = None
+    retry_backoff_s = 0.0
+    transfer_timeout_s = None
+    if policy in ("adaptive", "degradation-ladder"):
+        controller = AdaptiveEccController(
+            margins=margins,
+            mode="adaptive",
+            monitor=FailureRateMonitor(window_blocks=params["monitor_window_blocks"]),
+            switching_policy=HysteresisSwitchingPolicy(),
+        )
+    if policy == "degradation-ladder" and failures is not None:
+        degradation = DegradationLadder(
+            margins=margins,
+            num_wavelengths=config.num_wavelengths,
+            max_derate_factor=params["max_derate_factor"],
+        )
+        retry_backoff_s = params["backoff_horizon_fraction"] * horizon_s
+        transfer_timeout_s = params["timeout_horizon_fraction"] * horizon_s
+    simulator = NetworkSimulator(
+        config=config,
+        policy=MinimumPowerPolicy(),
+        mode="probabilistic",
+        packet_bits=params["packet_bits"],
+        max_retries=params["max_retries"],
+        warmup_fraction=params["warmup_fraction"],
+        seed=streams["engine"],
+        controller=controller,
+        telemetry_seed=streams["telemetry"],
+        trace_interval_s=horizon_s / TRACE_INTERVALS,
+        failures=failures,
+        degradation=degradation,
+        retry_backoff_s=retry_backoff_s,
+        transfer_timeout_s=transfer_timeout_s,
+    )
+    result = simulator.run(generator.generate(params["num_requests"]))
+    payload = {
+        "scenario": params["scenario"],
+        "policy": params["policy"],
+        "load": params["load"],
+        "margin_top": margins[-1],
+    }
+    payload.update(result.metrics().as_dict())
+    payload["trace"] = [row.as_dict() for row in result.interval_trace]
+    return payload
+
+
+@dataclass
+class AvailabilitySweepResult:
+    """Rows of the availability sweep (one per scenario x policy x load point)."""
+
+    rows: List[dict]
+    num_requests: int
+
+    def rows_for(self, scenario: str, policy: str) -> List[dict]:
+        """The load series of one (scenario, policy) curve."""
+        return [
+            row
+            for row in self.rows
+            if row["scenario"] == scenario and row["policy"] == policy
+        ]
+
+    def to_rows(self) -> List[dict]:
+        """CSV rows for the experiment runner (scalar columns only)."""
+        return [
+            {key: value for key, value in row.items() if key != "trace"}
+            for row in self.rows
+        ]
+
+    def render_text(self) -> str:
+        """Human-readable availability/degradation comparison table."""
+        header = (
+            f"{'scenario':<12} {'policy':<19} {'load':>5} {'avail':>7} {'drop':>8} "
+            f"{'escape':>9} {'retried':>8} {'mttr':>9} {'energy':>10}"
+        )
+        units = (
+            f"{'':<12} {'':<19} {'':>5} {'':>7} {'(%)':>8} "
+            f"{'':>9} {'':>8} {'(ns)':>9} {'(uJ)':>10}"
+        )
+        lines = [
+            "Hard-fault tolerance: graceful degradation vs blind retransmission "
+            f"({self.num_requests} requests per point, identical traffic/faults per policy)",
+            header,
+            units,
+            "-" * len(header),
+        ]
+        for row in self.rows:
+            lines.append(
+                f"{row['scenario']:<12} {row['policy']:<19} {row['load']:5.2f} "
+                f"{row['availability']:7.4f} {row['packet_drop_rate'] * 100:8.3f} "
+                f"{row['crc_escape_rate']:9.2e} {row['packets_retried']:8d} "
+                f"{row['mean_time_to_recover_s'] * 1e9:9.1f} "
+                f"{row['total_energy_j'] * 1e6:10.4f}"
+            )
+        ladder_rows = [
+            row
+            for row in self.rows
+            if row["policy"] == "degradation-ladder"
+            and "drop_rate_delta_vs_static_pp" in row
+            and row["scenario"] != "none"
+        ]
+        if ladder_rows:
+            mean_drop_cut = sum(
+                row["drop_rate_delta_vs_static_pp"] for row in ladder_rows
+            ) / len(ladder_rows)
+            lines.append(
+                f"The degradation ladder cuts the packet drop rate by "
+                f"{mean_drop_cut:.2f} percentage points on average vs the static "
+                "design under the same hard faults."
+            )
+        lines.append(
+            "'avail' is channel uptime over the observed horizon; 'drop' counts "
+            "packets abandoned after the retry budget / timeout; 'escape' is the "
+            "CRC-escape rate among delivered packets."
+        )
+        return "\n".join(lines)
+
+
+def merge_sweep(
+    payloads: Sequence[dict],
+    config: PaperConfig = DEFAULT_CONFIG,
+    options: dict | None = None,
+) -> tuple[str, list[dict]]:
+    """Assemble shard payloads into the (text report, CSV rows) pair.
+
+    Annotates every non-static row against the static row of the same
+    (scenario, load) point: energy saved (%) and drop-rate reduction
+    (percentage points; positive means fewer drops than static).
+    """
+    options = options or {}
+    rows = [dict(payload) for payload in payloads]
+    static_rows = {
+        (row["scenario"], row["load"]): row for row in rows if row["policy"] == "static"
+    }
+    for row in rows:
+        baseline = static_rows.get((row["scenario"], row["load"]))
+        is_static = row["policy"] == "static"
+        row["energy_saved_vs_static_pct"] = (
+            100.0 * (1.0 - row["total_energy_j"] / baseline["total_energy_j"])
+            if baseline is not None
+            and baseline["total_energy_j"] > 0.0
+            and not is_static
+            else 0.0
+        )
+        row["drop_rate_delta_vs_static_pp"] = (
+            100.0 * (baseline["packet_drop_rate"] - row["packet_drop_rate"])
+            if baseline is not None and not is_static
+            else 0.0
+        )
+    result = AvailabilitySweepResult(
+        rows=rows,
+        num_requests=int(options.get("num_requests", DEFAULT_NUM_REQUESTS)),
+    )
+    return result.render_text(), result.to_rows()
+
+
+def run_availability(
+    config: PaperConfig = DEFAULT_CONFIG,
+    *,
+    options: dict | None = None,
+) -> AvailabilitySweepResult:
+    """Run the full availability sweep serially and return the structured result."""
+    payloads = [run_sweep_shard(params, config) for params in sweep_shards(config, options)]
+    text, rows = merge_sweep(payloads, config, options)
+    return AvailabilitySweepResult(
+        rows=rows, num_requests=int((options or {}).get("num_requests", DEFAULT_NUM_REQUESTS))
+    )

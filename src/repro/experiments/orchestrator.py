@@ -31,6 +31,25 @@ fingerprint of the grid; ``resume=True`` reloads any checkpoint whose
 fingerprint still matches and only runs the missing shards.  An interrupted
 eight-hour sweep therefore restarts where it stopped, and a finished one
 merges instantly.
+
+The pooled path is additionally hardened against the two ways long sweeps
+die in practice:
+
+* **worker death** (OOM killer, segfault, operator ``kill -9``) breaks the
+  process pool; the orchestrator rebuilds it, charges every interrupted
+  shard one attempt and re-runs them — shard seeds are position-keyed, so a
+  re-run is byte-identical to an uninterrupted one;
+* **worker hangs** are bounded by an optional per-shard wall-clock timeout
+  (``shard_timeout_s``): overdue workers are terminated, the overdue shards
+  charged an attempt and requeued, innocent in-flight shards requeued for
+  free.
+
+A shard whose attempts exceed ``max_shard_retries``, or that raises a
+deterministic exception, aborts the sweep with a
+:class:`~repro.exceptions.ShardExecutionError` naming the failing shard's
+parameters.  Checkpoints are written as a checksummed JSON-lines file
+(header + one record per shard); a truncated or bit-flipped checkpoint is
+quarantined (renamed to ``*.corrupt``) and its surviving records resumed.
 """
 
 from __future__ import annotations
@@ -40,14 +59,17 @@ import json
 import multiprocessing
 import os
 import tempfile
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Sequence
 
 from ..config import DEFAULT_CONFIG, PaperConfig
-from ..exceptions import ConfigurationError
+from ..exceptions import ConfigurationError, ShardExecutionError
 from . import (
     adaptive,
+    availability,
     calibration,
     figure3,
     figure4,
@@ -64,6 +86,7 @@ __all__ = [
     "ExperimentGrid",
     "available_experiments",
     "describe_grid",
+    "register_experiment",
     "run_experiment",
     "checkpoint_path",
 ]
@@ -105,12 +128,28 @@ _GRIDS: Dict[str, GridFunctions] = {
     ),
     "network": GridFunctions(network.sweep_shards, network.run_sweep_shard, network.merge_sweep),
     "adaptive": GridFunctions(adaptive.sweep_shards, adaptive.run_sweep_shard, adaptive.merge_sweep),
+    "availability": GridFunctions(
+        availability.sweep_shards, availability.run_sweep_shard, availability.merge_sweep
+    ),
 }
 
 
 def available_experiments() -> list[str]:
     """Sorted names of the experiments the orchestrator can run."""
     return sorted(_GRIDS)
+
+
+def register_experiment(name: str, functions: GridFunctions, *, replace: bool = False) -> None:
+    """Register an extra grid descriptor under ``name``.
+
+    Meant for test harnesses and out-of-tree experiments.  Workers dispatch
+    shards by experiment name through this registry, so with the default
+    ``fork`` start method a registration made before the pool spins up is
+    visible inside the workers too.
+    """
+    if name in _GRIDS and not replace:
+        raise ConfigurationError(f"experiment {name!r} is already registered")
+    _GRIDS[name] = functions
 
 
 @dataclass(frozen=True)
@@ -159,6 +198,8 @@ def run_experiment(
     options: dict | None = None,
     checkpoint_dir: str | None = None,
     resume: bool = False,
+    shard_timeout_s: float | None = None,
+    max_shard_retries: int = 2,
 ) -> tuple[str, list[dict]]:
     """Run one experiment's full grid and return ``(text report, CSV rows)``.
 
@@ -181,11 +222,22 @@ def run_experiment(
     resume:
         Reuse the payloads of a matching checkpoint and run only the
         missing shards.  Requires ``checkpoint_dir``.
+    shard_timeout_s:
+        Pooled runs only: wall-clock budget per shard attempt.  Overdue
+        workers are terminated and their shards retried on a fresh pool.
+    max_shard_retries:
+        Pooled runs only: how many times one shard may be re-attempted
+        after its worker died or timed out before the sweep aborts with a
+        :class:`~repro.exceptions.ShardExecutionError`.
     """
     if jobs < 1:
         raise ConfigurationError("jobs must be at least 1")
     if resume and checkpoint_dir is None:
         raise ConfigurationError("resume requires a checkpoint directory")
+    if shard_timeout_s is not None and shard_timeout_s <= 0.0:
+        raise ConfigurationError("shard timeout must be positive")
+    if max_shard_retries < 0:
+        raise ConfigurationError("shard retry budget cannot be negative")
     functions = _grid_functions(experiment)
     grid = describe_grid(experiment, config, options)
 
@@ -202,7 +254,16 @@ def run_experiment(
             if checkpoint_dir is not None:
                 _write_checkpoint(checkpoint_dir, grid, completed)
     else:
-        _run_shards_pooled(grid, pending, completed, config, jobs, checkpoint_dir)
+        _run_shards_pooled(
+            grid,
+            pending,
+            completed,
+            config,
+            jobs,
+            checkpoint_dir,
+            shard_timeout_s=shard_timeout_s,
+            max_shard_retries=max_shard_retries,
+        )
 
     payloads = [completed[index] for index in range(len(grid.shard_params))]
     return functions.merge(payloads, config, options)
@@ -227,6 +288,42 @@ def _execute_shard(experiment: str, params: dict, config: PaperConfig) -> Any:
     return _jsonable(_GRIDS[experiment].run_shard(params, config))
 
 
+def _pool_context():
+    if "fork" in multiprocessing.get_all_start_methods():
+        # Fork keeps worker start-up in the millisecond range (no numpy/scipy
+        # re-import), which is what makes parallelism pay off even for
+        # sub-second analytic sweeps.
+        return multiprocessing.get_context("fork")
+    return None
+
+
+def _terminate_pool_workers(pool: ProcessPoolExecutor) -> None:
+    """Forcibly kill a pool's workers (a hung worker never exits by itself)."""
+    for process in list(getattr(pool, "_processes", {}).values()):
+        try:
+            process.terminate()
+        except OSError:  # already gone
+            pass
+
+
+def _charge_attempt(
+    attempts: Dict[int, int],
+    index: int,
+    grid: ExperimentGrid,
+    max_shard_retries: int,
+    reason: str,
+) -> None:
+    """Charge one failed attempt against a shard's retry budget."""
+    attempts[index] = attempts.get(index, 0) + 1
+    if attempts[index] > max_shard_retries:
+        raise ShardExecutionError(
+            grid.experiment,
+            index,
+            grid.shard_params[index],
+            f"{reason}; gave up after {max_shard_retries} retries",
+        )
+
+
 def _run_shards_pooled(
     grid: ExperimentGrid,
     pending: Sequence[int],
@@ -234,26 +331,104 @@ def _run_shards_pooled(
     config: PaperConfig,
     jobs: int,
     checkpoint_dir: str | None,
+    *,
+    shard_timeout_s: float | None = None,
+    max_shard_retries: int = 2,
 ) -> None:
-    """Fan the pending shards out over a process pool, checkpointing as they land."""
-    context = None
-    if "fork" in multiprocessing.get_all_start_methods():
-        # Fork keeps worker start-up in the millisecond range (no numpy/scipy
-        # re-import), which is what makes parallelism pay off even for
-        # sub-second analytic sweeps.
-        context = multiprocessing.get_context("fork")
-    with ProcessPoolExecutor(max_workers=min(jobs, len(pending)), mp_context=context) as pool:
-        futures = {
-            pool.submit(_execute_shard, grid.experiment, grid.shard_params[index], config): index
-            for index in pending
-        }
-        remaining = set(futures)
-        while remaining:
-            done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+    """Fan the pending shards out over a process pool, checkpointing as they land.
+
+    At most ``workers`` shards are in flight at once (a sliding window, so
+    a shard's wall-clock age is the age of its *own* attempt, not of the
+    whole submission batch).  A broken pool (worker death) or an overdue
+    shard rebuilds the pool and requeues the interrupted work; shard seeds
+    are position-keyed, so re-runs are byte-identical.  Deterministic
+    in-shard exceptions abort immediately — retrying cannot change them.
+    """
+    queue = deque(sorted(pending))
+    attempts: Dict[int, int] = {}
+    workers = min(jobs, len(queue))
+    context = _pool_context()
+    pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+    in_flight: Dict[Any, tuple[int, float]] = {}
+    try:
+        while queue or in_flight:
+            while queue and len(in_flight) < workers:
+                index = queue.popleft()
+                future = pool.submit(
+                    _execute_shard, grid.experiment, grid.shard_params[index], config
+                )
+                in_flight[future] = (index, time.monotonic())
+            poll_s = (
+                min(0.1, shard_timeout_s / 4.0) if shard_timeout_s is not None else None
+            )
+            done, _ = wait(set(in_flight), timeout=poll_s, return_when=FIRST_COMPLETED)
+            landed = False
+            broken: List[int] = []
             for future in done:
-                completed[futures[future]] = future.result()
-            if checkpoint_dir is not None:
+                index, _started = in_flight.pop(future)
+                error = future.exception()
+                if error is None:
+                    completed[index] = future.result()
+                    landed = True
+                elif isinstance(error, BrokenExecutor):
+                    # The worker died out from under the pool (OOM kill,
+                    # segfault, kill -9); which in-flight shard was guilty
+                    # is unknowable, so each interrupted one is charged an
+                    # attempt and re-run.
+                    broken.append(index)
+                else:
+                    raise ShardExecutionError(
+                        grid.experiment,
+                        index,
+                        grid.shard_params[index],
+                        f"shard raised {type(error).__name__}: {error}",
+                    ) from error
+            if landed and checkpoint_dir is not None:
                 _write_checkpoint(checkpoint_dir, grid, completed)
+            if broken:
+                # The pool is unusable once broken: requeue everything still
+                # in flight (those futures are doomed too) and rebuild.
+                broken.extend(index for index, _started in in_flight.values())
+                in_flight.clear()
+                pool.shutdown(wait=False, cancel_futures=True)
+                for index in sorted(broken, reverse=True):
+                    _charge_attempt(
+                        attempts, index, grid, max_shard_retries, "worker process died"
+                    )
+                    queue.appendleft(index)
+                pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+                continue
+            if shard_timeout_s is not None and in_flight:
+                now = time.monotonic()
+                overdue = [
+                    (future, index)
+                    for future, (index, started) in in_flight.items()
+                    if now - started > shard_timeout_s
+                ]
+                if overdue:
+                    # A future cannot be cancelled once running; the only way
+                    # to reclaim a hung worker is to kill the pool.  Innocent
+                    # in-flight shards are requeued without a charge.
+                    _terminate_pool_workers(pool)
+                    pool.shutdown(wait=True, cancel_futures=True)
+                    for future, index in overdue:
+                        del in_flight[future]
+                    survivors = [index for index, _started in in_flight.values()]
+                    in_flight.clear()
+                    for index in sorted(survivors, reverse=True):
+                        queue.appendleft(index)
+                    for _future, index in sorted(overdue, key=lambda item: -item[1]):
+                        _charge_attempt(
+                            attempts,
+                            index,
+                            grid,
+                            max_shard_retries,
+                            f"shard exceeded the {shard_timeout_s:g}s timeout",
+                        )
+                        queue.appendleft(index)
+                    pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
 
 
 def _jsonable(value: Any) -> Any:
@@ -275,13 +450,61 @@ def _jsonable(value: Any) -> Any:
     raise ConfigurationError(f"shard payload value {value!r} is not JSON-serializable")
 
 
+def _shard_checksum(index: int, payload: Any) -> str:
+    """Integrity hash of one checkpoint record (canonical JSON of its content)."""
+    canonical = json.dumps({"index": index, "payload": payload}, sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _quarantine_checkpoint(path: str) -> str:
+    """Move a damaged checkpoint aside (``*.corrupt``) so it is never reread.
+
+    The rename keeps the evidence for a post-mortem while guaranteeing the
+    next write starts from a fresh file.  Returns the quarantine path.
+    """
+    quarantined = path + ".corrupt"
+    try:
+        os.replace(path, quarantined)
+    except OSError:
+        pass  # racing writer or permissions: the reload already ignores it
+    return quarantined
+
+
 def _load_checkpoint(checkpoint_dir: str, grid: ExperimentGrid) -> Dict[int, Any]:
-    """Payloads of a previous run, or ``{}`` if absent, corrupt or stale."""
+    """Payloads of a previous run, or ``{}`` if absent, corrupt or stale.
+
+    Understands two formats: the current checksummed JSON-lines layout
+    (header record + one record per shard) and the legacy single-JSON
+    document.  A damaged file is quarantined (renamed to ``*.corrupt``) and
+    every record that still checksums clean is salvaged — a truncated tail,
+    a bit flip or an interleaved write costs only the damaged shards.  A
+    stale fingerprint (the grid changed) is not damage: the checkpoint is
+    simply ignored.
+    """
     path = checkpoint_path(checkpoint_dir, grid.experiment)
     try:
         with open(path, "r", encoding="utf-8") as handle:
-            stored = json.load(handle)
-    except (OSError, ValueError):
+            text = handle.read()
+    except OSError:
+        return {}
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        _quarantine_checkpoint(path)
+        return {}
+    try:
+        first = json.loads(lines[0])
+    except ValueError:
+        first = None
+    if isinstance(first, dict) and first.get("kind") == "header":
+        return _load_checkpoint_records(path, lines, first, grid)
+    # Legacy layout: the whole file is one JSON document.
+    try:
+        stored = json.loads(text)
+    except ValueError:
+        _quarantine_checkpoint(path)
+        return {}
+    if not isinstance(stored, dict):
+        _quarantine_checkpoint(path)
         return {}
     if stored.get("fingerprint") != grid.fingerprint:
         return {}
@@ -292,27 +515,79 @@ def _load_checkpoint(checkpoint_dir: str, grid: ExperimentGrid) -> Dict[int, Any
             for index, payload in shards.items()
             if 0 <= int(index) < len(grid.shard_params)
         }
-    except (TypeError, ValueError):
-        # Malformed shard keys count as a corrupt checkpoint: recompute.
+    except (AttributeError, TypeError, ValueError):
+        _quarantine_checkpoint(path)
         return {}
 
 
+def _load_checkpoint_records(
+    path: str, lines: List[str], header: dict, grid: ExperimentGrid
+) -> Dict[int, Any]:
+    """Salvage the shard records of a JSON-lines checkpoint."""
+    if header.get("fingerprint") != grid.fingerprint:
+        return {}
+    completed: Dict[int, Any] = {}
+    damaged = False
+    for line in lines[1:]:
+        try:
+            record = json.loads(line)
+        except ValueError:
+            damaged = True
+            continue
+        if not isinstance(record, dict) or record.get("kind") != "shard":
+            damaged = True
+            continue
+        index = record.get("index")
+        payload = record.get("payload")
+        if (
+            not isinstance(index, int)
+            or not 0 <= index < len(grid.shard_params)
+            or record.get("checksum") != _shard_checksum(index, payload)
+        ):
+            damaged = True
+            continue
+        completed[index] = payload
+    if damaged:
+        _quarantine_checkpoint(path)
+    return completed
+
+
 def _write_checkpoint(checkpoint_dir: str, grid: ExperimentGrid, completed: Dict[int, Any]) -> None:
-    """Atomically persist the completed shards (write-to-temp, then rename)."""
+    """Atomically persist the completed shards (write-to-temp, then rename).
+
+    JSON-lines layout: a header record identifying the grid, then one
+    checksummed record per completed shard, so partial damage is detectable
+    and repairable per record on reload.
+    """
     os.makedirs(checkpoint_dir, exist_ok=True)
     path = checkpoint_path(checkpoint_dir, grid.experiment)
-    payload = {
-        "experiment": grid.experiment,
-        "fingerprint": grid.fingerprint,
-        "num_shards": len(grid.shard_params),
-        "shards": {str(index): completed[index] for index in sorted(completed)},
-    }
+    lines = [
+        json.dumps(
+            {
+                "kind": "header",
+                "experiment": grid.experiment,
+                "fingerprint": grid.fingerprint,
+                "num_shards": len(grid.shard_params),
+            }
+        )
+    ]
+    for index in sorted(completed):
+        lines.append(
+            json.dumps(
+                {
+                    "kind": "shard",
+                    "index": index,
+                    "payload": completed[index],
+                    "checksum": _shard_checksum(index, completed[index]),
+                }
+            )
+        )
     descriptor, temp_path = tempfile.mkstemp(
         dir=checkpoint_dir, prefix=f".{grid.experiment}.", suffix=".tmp"
     )
     try:
         with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle)
+            handle.write("\n".join(lines) + "\n")
         os.replace(temp_path, path)
     except BaseException:
         if os.path.exists(temp_path):

@@ -76,9 +76,29 @@ def main(argv: list[str] | None = None) -> int:
         help="reuse matching shards from --checkpoint-dir (default: "
         ".repro-checkpoints) and run only the missing ones",
     )
+    parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="pooled runs: kill and retry any shard attempt exceeding this "
+        "wall-clock budget",
+    )
+    parser.add_argument(
+        "--shard-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="pooled runs: re-attempts per shard after a worker death or "
+        "timeout before the sweep aborts (default: 2)",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be at least 1")
+    if args.shard_timeout is not None and args.shard_timeout <= 0:
+        parser.error("--shard-timeout must be positive")
+    if args.shard_retries < 0:
+        parser.error("--shard-retries cannot be negative")
     checkpoint_dir = args.checkpoint_dir
     if args.resume and checkpoint_dir is None:
         checkpoint_dir = ".repro-checkpoints"
@@ -95,6 +115,8 @@ def main(argv: list[str] | None = None) -> int:
             jobs=args.jobs,
             checkpoint_dir=checkpoint_dir,
             resume=args.resume,
+            shard_timeout_s=args.shard_timeout,
+            max_shard_retries=args.shard_retries,
         )
         print(section(f"Experiment {name}", text))
         if args.csv:

@@ -208,6 +208,32 @@ class OpticalLinkManager:
         self._active[(request.source, request.destination)] = configuration
         return configuration
 
+    def configure_degraded(
+        self,
+        request: CommunicationRequest,
+        health,
+        ladder,
+        *,
+        base_margin_multiplier: float = 1.0,
+    ):
+        """Configure a request against a channel's hard-fault health.
+
+        Runs the request through a
+        :class:`~repro.manager.policies.DegradationLadder` first: the ladder
+        inspects the destination's :class:`~repro.netsim.failures.ChannelHealth`
+        and picks the mildest sufficient measure.  Returns
+        ``(configuration, action)`` — ``configuration`` is ``None`` when the
+        ladder declares the channel down (the caller drops or reroutes the
+        transfer; no energy is spent).  ``base_margin_multiplier`` lets an
+        online controller's drift margin combine with the fault-driven one:
+        the larger of the two is provisioned.
+        """
+        action = ladder.action_for(health)
+        if not action.serve:
+            return None, action
+        margin = max(float(base_margin_multiplier), action.margin_multiplier)
+        return self.configure(request, margin_multiplier=margin), action
+
     def release(self, source: int, destination: int) -> None:
         """Drop the configuration of one source/destination pair (end of stream)."""
         self._active.pop((source, destination), None)

@@ -29,6 +29,8 @@ __all__ = [
     "margin_levels",
     "FailureRateMonitor",
     "HysteresisSwitchingPolicy",
+    "DegradationAction",
+    "DegradationLadder",
 ]
 
 
@@ -297,6 +299,113 @@ class HysteresisSwitchingPolicy:
             if calm_windows + 1 >= self.hold_windows:
                 return -1
         return 0
+
+
+# ------------------------------------------------------------------ degradation
+@dataclass(frozen=True)
+class DegradationAction:
+    """What the degradation ladder decided for one transfer.
+
+    ``rung`` names the most severe measure applied: ``"nominal"`` (healthy
+    channel, no measure), ``"remap"`` (traffic remapped onto the surviving
+    wavelengths), ``"margin"`` (ECC margin escalated to absorb a raw-BER
+    penalty), ``"derate"`` (data rate lowered on top of the full margin),
+    ``"blackout"`` (channel temporarily dark — the engine defers and
+    retries) or ``"down"`` (channel declared down, the transfer is dropped).
+    """
+
+    serve: bool
+    margin_multiplier: float = 1.0
+    wavelengths: int = 0
+    derate_factor: float = 1.0
+    rung: str = "nominal"
+
+
+@dataclass
+class DegradationLadder:
+    """Graceful-degradation policy mapping hard-fault health to an action.
+
+    The ladder reacts to a channel's hard-fault condition
+    (:class:`~repro.netsim.failures.ChannelHealth`) with the mildest measure
+    that keeps the BER contract, escalating in order:
+
+    1. **remap** — stuck rings took wavelengths away: serialise over the
+       survivors (slower, but the BER contract holds untouched).
+    2. **escalate ECC margin** — a laser-droop raw-BER penalty is absorbed
+       by provisioning the smallest margin level covering it (the same
+       ladder the adaptive controller switches on).
+    3. **derate the data rate** — the penalty exceeds the top margin level:
+       halve the rate (each halving buys a 2x raw-BER allowance from the
+       energy-per-bit gain) until the remaining penalty fits under the top
+       margin.
+    4. **declare the channel down** — hard-failed, below the minimum viable
+       wavelength count, or the derate cap is exhausted: refuse the
+       transfer instead of burning energy on a dead lane.
+
+    A transient blackout is *not* a rung: the ladder reports
+    ``rung="blackout"`` with ``serve=True`` and the engine defers the
+    attempt with backoff until the window passes (or the retry budget and
+    timeout drop it).
+    """
+
+    margins: Sequence[float]
+    num_wavelengths: int
+    min_wavelengths: int = 1
+    max_derate_factor: float = 8.0
+
+    def __post_init__(self) -> None:
+        margins = [float(margin) for margin in self.margins]
+        if not margins or any(m < 1.0 for m in margins):
+            raise ConfigurationError("the margin ladder needs levels >= 1")
+        if sorted(margins) != margins or len(set(margins)) != len(margins):
+            raise ConfigurationError("margin levels must be strictly increasing")
+        if self.num_wavelengths < 1:
+            raise ConfigurationError("the ladder needs at least one wavelength")
+        if not 1 <= self.min_wavelengths <= self.num_wavelengths:
+            raise ConfigurationError(
+                "minimum viable wavelengths must lie in [1, num_wavelengths]"
+            )
+        if self.max_derate_factor < 1.0:
+            raise ConfigurationError("the derate cap must be at least 1")
+        self.margins = margins
+
+    @property
+    def top_margin(self) -> float:
+        """Largest margin level the ladder can provision."""
+        return self.margins[-1]
+
+    def action_for(self, health) -> DegradationAction:
+        """The mildest sufficient measure for one channel's health."""
+        if health.failed or health.wavelengths_available < self.min_wavelengths:
+            return DegradationAction(serve=False, rung="down")
+        wavelengths = int(health.wavelengths_available)
+        penalty = float(health.ber_penalty_multiplier)
+        derate = 1.0
+        while penalty / derate > self.top_margin * (1.0 + 1e-12):
+            derate *= 2.0
+            if derate > self.max_derate_factor:
+                return DegradationAction(serve=False, rung="down")
+        margin = next(
+            (level for level in self.margins if level >= penalty / derate),
+            self.top_margin,
+        )
+        if health.blacked_out:
+            rung = "blackout"
+        elif derate > 1.0:
+            rung = "derate"
+        elif margin > 1.0:
+            rung = "margin"
+        elif wavelengths < self.num_wavelengths:
+            rung = "remap"
+        else:
+            rung = "nominal"
+        return DegradationAction(
+            serve=True,
+            margin_multiplier=margin,
+            wavelengths=wavelengths,
+            derate_factor=derate,
+            rung=rung,
+        )
 
 
 @dataclass

@@ -159,6 +159,28 @@ class AdaptiveEccController:
                 return self.margins[target], True
         return self.margins[level], False
 
+    def force_margin(self, channel: int, multiplier: float, now_s: float) -> bool:
+        """Escalate ``channel`` to at least the level covering ``multiplier``.
+
+        Fault-driven escalation: when a hard-fault process announces a known
+        raw-BER penalty (e.g. a laser-droop step), the channel jumps
+        straight to the smallest sufficient level instead of waiting for the
+        failure monitor to notice.  Never downgrades — recovery is the
+        monitor's job — and charges the usual switch penalties.  Returns
+        ``True`` when a switch happened.
+        """
+        if multiplier < 1.0:
+            raise ConfigurationError("a forced margin multiplier must be at least 1")
+        level = self.level(channel)
+        target = next(
+            (index for index, margin in enumerate(self.margins) if margin >= multiplier),
+            len(self.margins) - 1,
+        )
+        if target <= level:
+            return False
+        self._switch(channel, target, now_s)
+        return True
+
     def observe(
         self,
         channel: int,

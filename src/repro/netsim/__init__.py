@@ -39,6 +39,14 @@ from .dynamics import (
 )
 from .engine import NetTransferRecord, NetworkResult, NetworkSimulator
 from .events import Event, EventKind, EventQueue
+from .failures import (
+    FAULT_SCENARIOS,
+    ChannelFaultTimeline,
+    ChannelHealth,
+    FaultTransition,
+    HardFaultModel,
+    make_fault_model,
+)
 from .metrics import (
     IntervalTrace,
     LatencySummary,
@@ -74,4 +82,10 @@ __all__ = [
     "RandomWalkDrift",
     "ChannelDriftModel",
     "make_drift_model",
+    "ChannelHealth",
+    "FaultTransition",
+    "ChannelFaultTimeline",
+    "HardFaultModel",
+    "make_fault_model",
+    "FAULT_SCENARIOS",
 ]

@@ -38,21 +38,29 @@ import numpy as np
 from ..coding.montecarlo import resolve_rng
 from ..coding.crc import CyclicRedundancyCheck
 from ..config import DEFAULT_CONFIG, PaperConfig
-from ..exceptions import ConfigurationError, InfeasibleDesignError
+from ..exceptions import ConfigurationError, InfeasibleDesignError, SimulationError
 from ..interconnect.arbitration import TokenArbiter
 from ..interconnect.mwsr import MWSRChannel
 from ..link.design import OpticalLinkDesigner
 from ..manager.manager import CommunicationRequest, LinkConfiguration, OpticalLinkManager
-from ..manager.policies import SelectionPolicy
+from ..manager.policies import DegradationLadder, SelectionPolicy
 from ..manager.runtime import AdaptiveEccController
 from ..simulation.faults import IndependentErrorModel
 from ..traffic.generators import TrafficRequest
 from .dynamics import ChannelDriftModel
 from .events import EventKind, EventQueue
-from .metrics import IntervalTrace, NetworkMetrics, build_interval_trace, compute_metrics
+from .failures import HardFaultModel
+from .metrics import (
+    EMPTY_TRACE_BUCKET,
+    IntervalTrace,
+    NetworkMetrics,
+    build_interval_trace,
+    compute_metrics,
+)
 from .outcomes import (
     BitExactOutcomeSampler,
     ProbabilisticOutcomeSampler,
+    TransmissionOutcome,
     packets_for_payload,
 )
 
@@ -111,6 +119,15 @@ class NetworkResult:
     configuration_switches: int = 0
     reconfiguration_energy_j: float = 0.0
     interval_trace: List[IntervalTrace] | None = None
+    #: Hard-fault accounting (all zero without a fault model): channel-seconds
+    #: spent hard-down, health transitions processed, completed down->up
+    #: recoveries with their total duration, and the observed simulation span
+    #: the downtime is measured against.
+    channel_downtime_s: float = 0.0
+    fault_transitions: int = 0
+    recoveries: int = 0
+    recovery_time_s: float = 0.0
+    fault_horizon_s: float = 0.0
 
     def metrics(self, warmup_fraction: float | None = None) -> NetworkMetrics:
         """Aggregate the records (optionally overriding the warm-up trim)."""
@@ -123,6 +140,11 @@ class NetworkResult:
             ),
             configuration_switches=self.configuration_switches,
             reconfiguration_energy_j=self.reconfiguration_energy_j,
+            channel_downtime_s=self.channel_downtime_s,
+            fault_transitions=self.fault_transitions,
+            recoveries=self.recoveries,
+            recovery_time_s=self.recovery_time_s,
+            fault_horizon_s=self.fault_horizon_s,
         )
 
     @property
@@ -145,9 +167,18 @@ class _RunState:
     #: entry — otherwise an earlier completion would drop the
     #: configuration of a transfer still occupying the channel.
     active_pairs: Dict[tuple, int] = field(default_factory=dict)
-    #: Interval-trace accumulators: bucket index -> [energy_j, packets_sent,
-    #: transfers_completed, latency_sum_s, switches].
+    #: Interval-trace accumulators: bucket index -> a list laid out like
+    #: :data:`~repro.netsim.metrics.EMPTY_TRACE_BUCKET`.
     trace: Dict[int, list] = field(default_factory=dict)
+    #: Hard-fault accounting: channels currently down (channel -> the time
+    #: they went down) plus the run-wide downtime / transition / recovery
+    #: counters and the time of the last processed event.
+    down_since: Dict[int, float] = field(default_factory=dict)
+    downtime_s: float = 0.0
+    fault_transitions: int = 0
+    recoveries: int = 0
+    recovery_time_s: float = 0.0
+    end_s: float = 0.0
 
 
 @dataclass(slots=True)
@@ -168,10 +199,17 @@ class _TransferState:
     residual_bit_errors: int = 0
     coded_bits_sent: int = 0
     energy_j: float = 0.0
-    #: Design-point raw BER of the configuration (set when dynamics are
-    #: active) and the drift-degraded raw BER of the current attempt.
+    #: Design-point raw BER of the configuration (set when dynamics or a
+    #: fault model are active) and the degraded raw BER of the current
+    #: attempt.
     design_raw_ber: float = 0.0
     attempt_raw_ber: float | None = None
+    #: Hard-fault bookkeeping: blackout deferrals consumed from the retry
+    #: budget, whether the in-flight attempt serialised into a dark channel,
+    #: and the absolute per-transfer timeout (``None`` without one).
+    deferrals: int = 0
+    attempt_blacked_out: bool = False
+    deadline_s: float | None = None
 
 
 class NetworkSimulator:
@@ -235,6 +273,32 @@ class NetworkSimulator:
         When set, the run accumulates per-interval energy/latency/switch
         traces (:class:`~repro.netsim.metrics.IntervalTrace`) of this
         width on ``NetworkResult.interval_trace``.
+    failures:
+        Optional :class:`~repro.netsim.failures.HardFaultModel` injecting
+        hard faults (lane fails, stuck rings, laser droop, blackouts) per
+        destination channel.  Probabilistic mode only, and mutually
+        exclusive with both ``fault_model`` and ``dynamics``.  An attempt
+        serialised into a down channel is lost in full (loss of light is
+        physically detectable, so the loss counts as detected even without
+        a CRC); degraded channels corrupt at the health's penalised raw
+        BER, with lost wavelengths contributing randomised bits unless a
+        degradation ladder remaps around them.
+    degradation:
+        Optional :class:`~repro.manager.policies.DegradationLadder` reacting
+        to the fault model's health per transfer: remap onto surviving
+        wavelengths, escalate the ECC margin, derate the data rate or
+        declare the channel down (requests are dropped without spending
+        energy).  Requires ``failures`` and a positive ``retry_backoff_s``
+        (blackout deferrals re-enter through the backed-off RETRY path).
+    retry_backoff_s:
+        Base of the exponential ARQ backoff: the ``n``-th re-attempt of a
+        transfer is not issued before ``retry_backoff_s * 2**n`` after the
+        failure.  The default of 0 keeps the historical immediate-ARQ
+        behaviour bit-for-bit.
+    transfer_timeout_s:
+        Per-transfer deadline relative to arrival: once a retry would start
+        beyond it, the remaining packets are dropped instead (bounds how
+        long a transfer can chase a dark channel).
     """
 
     def __init__(
@@ -255,6 +319,10 @@ class NetworkSimulator:
         controller: AdaptiveEccController | None = None,
         telemetry_seed: int | np.random.SeedSequence | None = None,
         trace_interval_s: float | None = None,
+        failures: HardFaultModel | None = None,
+        degradation: DegradationLadder | None = None,
+        retry_backoff_s: float = 0.0,
+        transfer_timeout_s: float | None = None,
     ):
         if mode not in MODES:
             raise ConfigurationError(f"unknown mode {mode!r}; available: {MODES}")
@@ -284,6 +352,43 @@ class NetworkSimulator:
             )
         if trace_interval_s is not None and trace_interval_s <= 0.0:
             raise ConfigurationError("trace interval must be positive")
+        if failures is not None:
+            if mode != "probabilistic":
+                raise ConfigurationError(
+                    "hard-fault models are only supported in probabilistic mode"
+                )
+            if fault_model is not None or dynamics is not None:
+                raise ConfigurationError(
+                    "a hard-fault model fixes the per-attempt raw BER; it cannot "
+                    "be combined with a custom fault model or channel dynamics"
+                )
+            if failures.num_channels != config.num_onis:
+                raise ConfigurationError(
+                    "the fault model must cover every reader channel of the ring"
+                )
+            if failures.num_wavelengths != config.num_wavelengths:
+                raise ConfigurationError(
+                    "the fault model's wavelength count must match the interconnect"
+                )
+        if degradation is not None:
+            if failures is None:
+                raise ConfigurationError(
+                    "a degradation ladder reacts to hard faults; pass failures too"
+                )
+            if retry_backoff_s <= 0.0:
+                raise ConfigurationError(
+                    "a degradation ladder defers through the backed-off retry "
+                    "path; retry_backoff_s must be positive"
+                )
+            if degradation.num_wavelengths != config.num_wavelengths:
+                raise ConfigurationError(
+                    "the degradation ladder's wavelength count must match the "
+                    "interconnect"
+                )
+        if retry_backoff_s < 0.0:
+            raise ConfigurationError("retry backoff cannot be negative")
+        if transfer_timeout_s is not None and transfer_timeout_s <= 0.0:
+            raise ConfigurationError("transfer timeout must be positive")
         self.config = config
         self.manager = manager if manager is not None else OpticalLinkManager(config=config)
         self.policy = policy
@@ -298,6 +403,12 @@ class NetworkSimulator:
         self._controller = controller
         self._telemetry_rng = resolve_rng(None, telemetry_seed)
         self._trace_interval_s = trace_interval_s
+        self._failures = failures
+        self._degradation = degradation
+        self.retry_backoff_s = float(retry_backoff_s)
+        self.transfer_timeout_s = (
+            float(transfer_timeout_s) if transfer_timeout_s is not None else None
+        )
         self._designer = OpticalLinkDesigner(config=config)
         self._codes_by_name = {code.name: code for code in self.manager.codes}
         self._samplers: Dict[tuple, object] = {}
@@ -366,6 +477,12 @@ class NetworkSimulator:
         run = _RunState()
         if self._controller is not None:
             self._controller.reset()
+        if self._failures is not None:
+            # One LINK_FAULT per compiled health transition; pushed before
+            # the arrivals so a fault coinciding with an arrival is applied
+            # first (matching the bisect semantics of health queries).
+            for transition in self._failures.transitions():
+                run.queue.push(transition.time_s, EventKind.LINK_FAULT, transition)
         count = 0
         for request in requests:
             run.queue.push(request.arrival_time_s, EventKind.ARRIVAL, request)
@@ -374,17 +491,49 @@ class NetworkSimulator:
             raise ConfigurationError("a simulation needs at least one request")
 
         # The drain loop is the engine's hottest Python code: bind the two
-        # handlers and the arrival sentinel once instead of resolving the
+        # common handlers and their sentinels once instead of resolving the
         # attribute chain per event, and keep all per-run aggregation (the
-        # sorted grant-count snapshot below) out of it entirely.
+        # sorted grant-count snapshot below) out of it entirely.  The
+        # enclosing try costs nothing until a handler actually raises; it
+        # exists so a crash deep inside a controller or sampler names the
+        # event that broke the run (the queue itself is never torn — the
+        # failing event was popped and no further handler runs).
         handle_arrival = self._handle_arrival
         handle_departure = self._handle_departure
         arrival = EventKind.ARRIVAL
-        for event in run.queue.drain():
-            if event.kind is arrival:
-                handle_arrival(event.time_s, event.payload, run)
-            else:
-                handle_departure(event.time_s, event.payload, run)
+        departure = EventKind.DEPARTURE
+        retry = EventKind.RETRY
+        event = None
+        try:
+            for event in run.queue.drain():
+                kind = event.kind
+                if kind is arrival:
+                    handle_arrival(event.time_s, event.payload, run)
+                elif kind is departure:
+                    handle_departure(event.time_s, event.payload, run)
+                elif kind is retry:
+                    self._schedule_attempt(event.payload, event.time_s, run)
+                else:
+                    self._handle_link_fault(event.time_s, event.payload, run)
+        except SimulationError:
+            raise
+        except Exception as exc:
+            raise SimulationError(
+                f"{event.kind.name} handler failed at t={event.time_s:.9e}s "
+                f"(event #{run.queue.events_processed}): {exc}"
+            ) from exc
+        run.end_s = event.time_s
+
+        if self._failures is not None and run.down_since:
+            # Channels still down when the run ends: their outage is charged
+            # up to the last processed event, but does not count as a
+            # recovery (they never came back).
+            for channel in sorted(run.down_since):
+                started = run.down_since[channel]
+                if run.end_s > started:
+                    run.downtime_s += run.end_s - started
+                    self._charge_downtime(run, started, run.end_s)
+            run.down_since.clear()
 
         return NetworkResult(
             records=run.records,
@@ -405,10 +554,19 @@ class NetworkSimulator:
                 else 0.0
             ),
             interval_trace=(
-                build_interval_trace(run.trace, self._trace_interval_s)
+                build_interval_trace(
+                    run.trace,
+                    self._trace_interval_s,
+                    num_channels=self.config.num_onis,
+                )
                 if self._trace_interval_s is not None
                 else None
             ),
+            channel_downtime_s=run.downtime_s,
+            fault_transitions=run.fault_transitions,
+            recoveries=run.recoveries,
+            recovery_time_s=run.recovery_time_s,
+            fault_horizon_s=run.end_s if self._failures is not None else 0.0,
         )
 
     def _charge_trace(
@@ -421,18 +579,67 @@ class NetworkSimulator:
         completed: int = 0,
         latency_s: float = 0.0,
         switches: int = 0,
+        dropped: int = 0,
+        fault_transitions: int = 0,
+        recoveries: int = 0,
+        recovery_s: float = 0.0,
     ) -> None:
         """Accumulate one event's contribution to the interval trace."""
         if self._trace_interval_s is None:
             return
         bucket = run.trace.setdefault(
-            int(time_s // self._trace_interval_s), [0.0, 0, 0, 0.0, 0]
+            int(time_s // self._trace_interval_s), list(EMPTY_TRACE_BUCKET)
         )
         bucket[0] += energy_j
         bucket[1] += packets
         bucket[2] += completed
         bucket[3] += latency_s
         bucket[4] += switches
+        bucket[5] += dropped
+        bucket[6] += fault_transitions
+        bucket[7] += recoveries
+        bucket[8] += recovery_s
+
+    def _charge_downtime(self, run: _RunState, start_s: float, end_s: float) -> None:
+        """Spread one channel-down interval over the trace buckets it covers."""
+        if self._trace_interval_s is None or end_s <= start_s:
+            return
+        width = self._trace_interval_s
+        for index in range(int(start_s // width), int(end_s // width) + 1):
+            overlap = min(end_s, (index + 1) * width) - max(start_s, index * width)
+            if overlap > 0.0:
+                bucket = run.trace.setdefault(index, list(EMPTY_TRACE_BUCKET))
+                bucket[9] += overlap
+
+    def _handle_link_fault(self, now_s, transition, run: _RunState) -> None:
+        """Apply one health transition: availability accounting + escalation."""
+        run.fault_transitions += 1
+        channel = transition.channel
+        health = self._failures.health(channel, now_s)
+        was_down = channel in run.down_since
+        if health.down and not was_down:
+            run.down_since[channel] = now_s
+        elif not health.down and was_down:
+            started = run.down_since.pop(channel)
+            duration = now_s - started
+            run.downtime_s += duration
+            run.recoveries += 1
+            run.recovery_time_s += duration
+            self._charge_downtime(run, started, now_s)
+            self._charge_trace(run, now_s, recoveries=1, recovery_s=duration)
+        self._charge_trace(run, now_s, fault_transitions=1)
+        if (
+            self._controller is not None
+            and self._degradation is not None
+            and health.ber_penalty_multiplier > 1.0
+        ):
+            # A ladder deployment implies a fault-management plane that
+            # announces detected penalties; jump the controller straight to
+            # the covering level instead of waiting for telemetry.
+            if self._controller.force_margin(
+                channel, health.ber_penalty_multiplier, now_s
+            ):
+                self._record_switch(run, now_s)
 
     def _record_switch(self, run: _RunState, time_s: float) -> None:
         """Trace one controller level switch (its energy is charged here)."""
@@ -464,7 +671,23 @@ class NetworkSimulator:
             if switched:
                 self._record_switch(run, now_s)
         try:
-            configuration = self.manager.configure(communication, margin_multiplier=margin)
+            if self._degradation is not None:
+                health = self._failures.health(request.destination, now_s)
+                configuration, action = self.manager.configure_degraded(
+                    communication,
+                    health,
+                    self._degradation,
+                    base_margin_multiplier=margin,
+                )
+                if configuration is None:
+                    # The ladder declared the channel down: drop the request
+                    # without spending a single attempt's energy on it.
+                    self._drop_on_arrival(request, now_s, run)
+                    return
+            else:
+                configuration = self.manager.configure(
+                    communication, margin_multiplier=margin
+                )
         except InfeasibleDesignError:
             run.records.append(
                 NetTransferRecord(
@@ -497,31 +720,86 @@ class NetworkSimulator:
             packets_remaining=packets,
             retries_left=self.max_retries if self.crc is not None else 0,
         )
-        if self._dynamics is not None:
+        if self._dynamics is not None or self._failures is not None:
             state.design_raw_ber = self._raw_ber_for(configuration)
+        if self.transfer_timeout_s is not None:
+            state.deadline_s = now_s + self.transfer_timeout_s
         pair = (request.source, request.destination)
         run.active_pairs[pair] = run.active_pairs.get(pair, 0) + 1
         self._schedule_attempt(state, now_s, run)
 
-    def _schedule_attempt(self, state, now_s, run: _RunState) -> None:
+    def _drop_on_arrival(self, request, now_s, run: _RunState) -> None:
+        """Record a request refused at arrival (channel declared down)."""
+        packets = packets_for_payload(request.payload_bits, self.packet_bits)
+        run.records.append(
+            NetTransferRecord(
+                source=request.source,
+                destination=request.destination,
+                payload_bits=request.payload_bits,
+                code_name=None,
+                arrival_time_s=now_s,
+                first_start_time_s=now_s,
+                completion_time_s=now_s,
+                attempts=0,
+                packets_total=packets,
+                packets_sent=0,
+                packets_delivered=0,
+                packets_dropped=packets,
+                packets_with_residual_errors=0,
+                residual_bit_errors=0,
+                coded_bits_sent=0,
+                energy_j=0.0,
+            )
+        )
+        self._charge_trace(run, now_s, dropped=packets)
+
+    def _schedule_attempt(
+        self, state, now_s, run: _RunState, *, not_before_s: float | None = None
+    ) -> None:
         """Reserve the destination channel for one attempt and time its end.
 
         The arbiter grants in request order (the event loop guarantees
         requests are issued in simulation-time order), charges the token
         hops from the current holder and queues behind the channel's busy
         window; the attempt's DEPARTURE fires when serialisation completes.
+        ``not_before_s`` is the ARQ backoff floor of a re-attempt.  Under a
+        degradation ladder a down channel defers the attempt (blackout) or
+        drops the transfer (permanent outage) instead of serialising into
+        the dark.
         """
+        destination = state.request.destination
+        request_time_s = now_s
+        if not_before_s is not None and not_before_s > request_time_s:
+            request_time_s = not_before_s
+        if self._controller is not None:
+            # A channel mid-reconfiguration (lasers re-locking, coder mode
+            # switching) cannot accept the next transfer until it finishes.
+            request_time_s = max(request_time_s, self._controller.blocked_until(destination))
+        wavelengths = self.config.num_wavelengths
+        rate_factor = 1.0
+        action = None
+        if self._failures is not None and self._degradation is not None:
+            health = self._failures.health(destination, request_time_s)
+            if health.down:
+                self._defer_or_drop(state, now_s, health, run)
+                return
+            action = self._degradation.action_for(health)
+            if not action.serve:
+                self._finalize_transfer(state, now_s, run, dropped=state.packets_remaining)
+                return
+            wavelengths = action.wavelengths
+            rate_factor = (
+                self.config.num_wavelengths / wavelengths
+            ) * action.derate_factor
         duration_s = (
             state.packets_remaining
             * state.sampler.coded_bits_per_packet
             / self.channel_rate_bits_per_s
         )
-        destination = state.request.destination
-        request_time_s = now_s
-        if self._controller is not None:
-            # A channel mid-reconfiguration (lasers re-locking, coder mode
-            # switching) cannot accept the next transfer until it finishes.
-            request_time_s = max(now_s, self._controller.blocked_until(destination))
+        if rate_factor != 1.0:
+            # Remapped / derated attempts serialise slower: the same coded
+            # bits over fewer wavelengths and/or at a reduced rate.
+            duration_s *= rate_factor
         arbiter = self._arbiter_for(destination, run.arbiters)
         start_s = arbiter.request(state.request.source, request_time_s, duration_s)
         if state.first_start_s < 0.0:
@@ -529,9 +807,7 @@ class NetworkSimulator:
         state.attempts += 1
         state.packets_sent += state.packets_remaining
         state.coded_bits_sent += state.packets_remaining * state.sampler.coded_bits_per_packet
-        channel_power_w = (
-            state.configuration.channel_power_w * self.config.num_wavelengths
-        )
+        channel_power_w = state.configuration.channel_power_w * wavelengths
         attempt_energy_j = channel_power_w * duration_s
         state.energy_j += attempt_energy_j
         if self._dynamics is not None:
@@ -539,30 +815,117 @@ class NetworkSimulator:
             # serialisation start.
             multiplier = self._dynamics.multiplier(destination, start_s)
             state.attempt_raw_ber = min(1.0, state.design_raw_ber * multiplier)
+        elif self._failures is not None:
+            self._apply_attempt_health(state, destination, start_s, action)
         self._charge_trace(
             run, start_s, energy_j=attempt_energy_j, packets=state.packets_remaining
         )
         run.busy_s[destination] = run.busy_s.get(destination, 0.0) + duration_s
         run.queue.push(start_s + duration_s, EventKind.DEPARTURE, state)
 
+    def _apply_attempt_health(self, state, destination, start_s, action) -> None:
+        """Set the attempt's raw BER (or dark-channel flag) from its health.
+
+        Like dynamics, the attempt is corrupted at the conditions of its
+        serialisation *start* — a blackout beginning between the channel
+        request and the grant still eats the attempt.  Without a ladder,
+        lost wavelengths are still driven (the transmitter does not know):
+        their share of the coded bits arrives as coin flips, so the
+        effective raw BER blends the survivors' penalised BER with 0.5.
+        With a ladder, ``action`` already remapped (no dead-wavelength
+        bits) and its derate divides the penalty (a halved rate buys a 2x
+        raw-BER allowance from the energy-per-bit gain).
+        """
+        health = self._failures.health(destination, start_s)
+        if health.down:
+            state.attempt_blacked_out = True
+            state.attempt_raw_ber = None
+            return
+        state.attempt_blacked_out = False
+        penalty = health.ber_penalty_multiplier
+        if action is not None:
+            raw = state.design_raw_ber * (penalty / action.derate_factor)
+        else:
+            raw = state.design_raw_ber * penalty
+            lost = self.config.num_wavelengths - health.wavelengths_available
+            if lost > 0:
+                fraction = lost / self.config.num_wavelengths
+                raw = fraction * 0.5 + (1.0 - fraction) * raw
+        state.attempt_raw_ber = min(1.0, raw)
+
+    def _retry_delay_s(self, state) -> float:
+        """Exponential backoff: doubles with every re-attempt already consumed."""
+        previous = max(state.attempts - 1, 0) + state.deferrals
+        return self.retry_backoff_s * (2.0 ** previous)
+
+    def _defer_or_drop(self, state, now_s, health, run: _RunState) -> None:
+        """A down channel under the ladder: wait out a blackout or give up."""
+        if health.failed or not health.blacked_out:
+            # Permanent outage (hard fail or all wavelengths gone): waiting
+            # cannot help, drop what remains immediately.
+            self._finalize_transfer(state, now_s, run, dropped=state.packets_remaining)
+            return
+        retry_at = now_s + self._retry_delay_s(state)
+        if state.retries_left <= 0 or (
+            state.deadline_s is not None and retry_at > state.deadline_s
+        ):
+            self._finalize_transfer(state, now_s, run, dropped=state.packets_remaining)
+            return
+        state.retries_left -= 1
+        state.deferrals += 1
+        run.queue.push(retry_at, EventKind.RETRY, state)
+
     def _handle_departure(self, now_s, state, run: _RunState) -> None:
-        if state.attempt_raw_ber is not None:
-            outcome = state.sampler.sample(
-                state.packets_remaining, raw_ber=state.attempt_raw_ber
+        if state.attempt_blacked_out:
+            # The channel was dark when serialisation started: every packet
+            # of the attempt is lost, and loss of light is detected at the
+            # receiver even without a CRC.  The outcome is certain, so no
+            # randomness is consumed — the main stream stays aligned with a
+            # fault-free run — and the controller sees no telemetry (there
+            # is no decoded block to count corrections on).
+            state.attempt_blacked_out = False
+            outcome = TransmissionOutcome(
+                packets=state.packets_remaining,
+                failed_detected=state.packets_remaining,
+                delivered_with_errors=0,
+                residual_bit_errors=0,
             )
         else:
-            outcome = state.sampler.sample(state.packets_remaining)
-        if self._controller is not None and self._controller.wants_observations:
-            self._feed_controller(now_s, state, outcome, run)
+            if state.attempt_raw_ber is not None:
+                outcome = state.sampler.sample(
+                    state.packets_remaining, raw_ber=state.attempt_raw_ber
+                )
+            else:
+                outcome = state.sampler.sample(state.packets_remaining)
+            if self._controller is not None and self._controller.wants_observations:
+                self._feed_controller(now_s, state, outcome, run)
         state.packets_delivered += outcome.delivered
         state.packets_with_residual_errors += outcome.delivered_with_errors
         state.residual_bit_errors += outcome.residual_bit_errors
         if outcome.failed_detected and state.retries_left > 0:
-            state.retries_left -= 1
             state.packets_remaining = outcome.failed_detected
-            self._schedule_attempt(state, now_s, run)
-            return
+            not_before = now_s
+            if self.retry_backoff_s > 0.0:
+                not_before = now_s + self._retry_delay_s(state)
+            if state.deadline_s is None or not_before <= state.deadline_s:
+                state.retries_left -= 1
+                self._schedule_attempt(state, now_s, run, not_before_s=not_before)
+                return
+            # The backed-off re-attempt would land past the transfer's
+            # deadline: give up now instead of burning the channel on it.
+        self._finalize_transfer(state, now_s, run, dropped=outcome.failed_detected)
+
+    def _finalize_transfer(self, state, now_s, run: _RunState, *, dropped: int) -> None:
+        """Record a transfer's terminal state (delivered, exhausted or dropped).
+
+        ``dropped`` is the number of packets that never made it: the last
+        attempt's detected failures when ARQ gave up, or everything still
+        pending when a fault dropped the transfer outright.  A transfer
+        dropped before any attempt started reports its drop time as its
+        first start.
+        """
         request = state.request
+        first_start = state.first_start_s if state.first_start_s >= 0.0 else now_s
         run.records.append(
             NetTransferRecord(
                 source=request.source,
@@ -570,13 +933,13 @@ class NetworkSimulator:
                 payload_bits=request.payload_bits,
                 code_name=state.configuration.code_name,
                 arrival_time_s=request.arrival_time_s,
-                first_start_time_s=state.first_start_s,
+                first_start_time_s=first_start,
                 completion_time_s=now_s,
                 attempts=state.attempts,
                 packets_total=state.packets_total,
                 packets_sent=state.packets_sent,
                 packets_delivered=state.packets_delivered,
-                packets_dropped=outcome.failed_detected,
+                packets_dropped=dropped,
                 packets_with_residual_errors=state.packets_with_residual_errors,
                 residual_bit_errors=state.residual_bit_errors,
                 coded_bits_sent=state.coded_bits_sent,
@@ -584,7 +947,11 @@ class NetworkSimulator:
             )
         )
         self._charge_trace(
-            run, now_s, completed=1, latency_s=now_s - request.arrival_time_s
+            run,
+            now_s,
+            completed=1,
+            latency_s=now_s - request.arrival_time_s,
+            dropped=dropped,
         )
         pair = (request.source, request.destination)
         run.active_pairs[pair] -= 1

@@ -35,6 +35,15 @@ class EventKind(IntEnum):
     DEPARTURE = 1
     """A scheduled (re)transmission finishes serialising on its channel."""
 
+    RETRY = 2
+    """A backed-off ARQ attempt (or a deferred transfer waiting out a
+    blackout) re-enters the channel-request path."""
+
+    LINK_FAULT = 3
+    """A channel's hard-fault health changes (see
+    :mod:`repro.netsim.failures`); drives availability accounting and the
+    degradation ladder's reactions."""
+
 
 @dataclass(frozen=True, order=True, slots=True)
 class Event:

@@ -25,6 +25,7 @@ __all__ = [
     "nearest_rank_percentile",
     "compute_metrics",
     "build_interval_trace",
+    "EMPTY_TRACE_BUCKET",
 ]
 
 
@@ -93,7 +94,10 @@ class IntervalTrace:
     One row per fixed-width simulation-time interval: channel energy charged
     in the interval (reconfiguration energy included), packets sent,
     transfers completed, their mean latency, and how many configuration
-    switches the controller performed.
+    switches the controller performed.  Under a hard-fault model
+    (:mod:`repro.netsim.failures`) each row also carries the interval's
+    drop / fault / recovery counts and its channel availability, which is
+    what the availability experiment plots as a time series.
     """
 
     interval: int
@@ -103,6 +107,11 @@ class IntervalTrace:
     transfers_completed: int
     mean_latency_s: float
     switches: int
+    packets_dropped: int = 0
+    fault_transitions: int = 0
+    recoveries: int = 0
+    mean_recovery_s: float = 0.0
+    availability: float = 1.0
 
     def as_dict(self) -> dict:
         """Plain-scalar view for JSON payloads."""
@@ -114,27 +123,48 @@ class IntervalTrace:
             "transfers_completed": self.transfers_completed,
             "mean_latency_s": self.mean_latency_s,
             "switches": self.switches,
+            "packets_dropped": self.packets_dropped,
+            "fault_transitions": self.fault_transitions,
+            "recoveries": self.recoveries,
+            "mean_recovery_s": self.mean_recovery_s,
+            "availability": self.availability,
         }
 
 
+#: Zero-filled interval accumulator: ``[energy_j, packets_sent,
+#: transfers_completed, latency_sum_s, switches, packets_dropped,
+#: fault_transitions, recoveries, recovery_time_sum_s, channel_down_s]``.
+EMPTY_TRACE_BUCKET = (0.0, 0, 0, 0.0, 0, 0, 0, 0, 0.0, 0.0)
+
+
 def build_interval_trace(
-    buckets: Mapping[int, Sequence[float]], interval_s: float
+    buckets: Mapping[int, Sequence[float]],
+    interval_s: float,
+    *,
+    num_channels: int = 1,
 ) -> list[IntervalTrace]:
     """Reduce the engine's raw interval accumulators to trace rows.
 
-    ``buckets`` maps interval index to ``[energy_j, packets_sent,
-    transfers_completed, latency_sum_s, switches]``; gaps between occupied
-    intervals are filled with zero rows so the series plots contiguously.
+    ``buckets`` maps interval index to accumulator lists laid out like
+    :data:`EMPTY_TRACE_BUCKET`; shorter (pre-fault-model) five-element lists
+    are accepted and padded with zeros.  Gaps between occupied intervals are
+    filled with zero rows so the series plots contiguously.  ``num_channels``
+    converts the interval's channel-down seconds into an availability
+    fraction.
     """
     if interval_s <= 0.0:
         raise ConfigurationError("trace interval must be positive")
+    if num_channels < 1:
+        raise ConfigurationError("availability needs at least one channel")
     if not buckets:
         return []
     rows = []
     for index in range(max(buckets) + 1):
-        energy, packets, completed, latency_sum, switches = buckets.get(
-            index, (0.0, 0, 0, 0.0, 0)
-        )
+        bucket = list(buckets.get(index, EMPTY_TRACE_BUCKET))
+        if len(bucket) < len(EMPTY_TRACE_BUCKET):
+            bucket.extend(EMPTY_TRACE_BUCKET[len(bucket):])
+        (energy, packets, completed, latency_sum, switches,
+         dropped, faults, recoveries, recovery_sum, down_s) = bucket
         rows.append(
             IntervalTrace(
                 interval=index,
@@ -144,6 +174,13 @@ def build_interval_trace(
                 transfers_completed=int(completed),
                 mean_latency_s=float(latency_sum / completed) if completed else 0.0,
                 switches=int(switches),
+                packets_dropped=int(dropped),
+                fault_transitions=int(faults),
+                recoveries=int(recoveries),
+                mean_recovery_s=float(recovery_sum / recoveries) if recoveries else 0.0,
+                availability=max(
+                    0.0, 1.0 - float(down_s) / (num_channels * interval_s)
+                ),
             )
         )
     return rows
@@ -174,6 +211,17 @@ class NetworkMetrics:
     #: ``total_energy_j`` already includes the reconfiguration energy.
     configuration_switches: int = 0
     reconfiguration_energy_j: float = 0.0
+    #: Hard-fault accounting (all zero / one without a fault model):
+    #: ARQ retransmissions, transfers that dropped packets, channel-seconds
+    #: spent hard-down, the resulting availability fraction, health
+    #: transitions, completed down->up recoveries and their mean duration.
+    packets_retried: int = 0
+    transfers_dropped: int = 0
+    channel_downtime_s: float = 0.0
+    availability: float = 1.0
+    fault_transitions: int = 0
+    recoveries: int = 0
+    mean_time_to_recover_s: float = 0.0
 
     @property
     def mean_channel_utilization(self) -> float:
@@ -218,6 +266,25 @@ class NetworkMetrics:
             return 0.0
         return self.residual_bit_errors / self.delivered_payload_bits
 
+    @property
+    def packet_drop_rate(self) -> float:
+        """Fraction of unique packets that were ultimately dropped."""
+        unique = self.packets_delivered + self.packets_dropped
+        if unique == 0:
+            return 0.0
+        return self.packets_dropped / unique
+
+    @property
+    def crc_escape_rate(self) -> float:
+        """Fraction of delivered packets whose corruption escaped the CRC.
+
+        These are the undetected-corrupt deliveries — the CRC passed (or was
+        disabled) while residual bit errors remained, so ARQ never fired.
+        """
+        if self.packets_delivered == 0:
+            return 0.0
+        return self.packets_with_residual_errors / self.packets_delivered
+
     def as_dict(self) -> dict:
         """Flat plain-scalar dictionary (JSON/CSV friendly)."""
         return {
@@ -243,6 +310,16 @@ class NetworkMetrics:
             "configuration_switches": self.configuration_switches,
             "reconfiguration_energy_j": self.reconfiguration_energy_j,
             "total_energy_j": self.total_energy_j,
+            "packets_retried": self.packets_retried,
+            "transfers_dropped": self.transfers_dropped,
+            "packet_drop_rate": self.packet_drop_rate,
+            "undetected_corrupt_packets": self.packets_with_residual_errors,
+            "crc_escape_rate": self.crc_escape_rate,
+            "availability": self.availability,
+            "channel_downtime_s": self.channel_downtime_s,
+            "fault_transitions": self.fault_transitions,
+            "recoveries": self.recoveries,
+            "mean_time_to_recover_s": self.mean_time_to_recover_s,
         }
 
 
@@ -254,6 +331,11 @@ def compute_metrics(
     warmup_fraction: float,
     configuration_switches: int = 0,
     reconfiguration_energy_j: float = 0.0,
+    channel_downtime_s: float = 0.0,
+    fault_transitions: int = 0,
+    recoveries: int = 0,
+    recovery_time_s: float = 0.0,
+    fault_horizon_s: float = 0.0,
 ) -> NetworkMetrics:
     """Reduce the engine's transfer records to :class:`NetworkMetrics`.
 
@@ -261,6 +343,13 @@ def compute_metrics(
     the run (rejected ones included); the first ``warmup_fraction`` of the
     completed transfers — in arrival order — are excluded from the latency
     summary but still count towards throughput, energy and packet totals.
+    Transfers dropped without a single attempt (a hard-down channel refused
+    them on arrival) are likewise excluded from the latency summary: they
+    have no meaningful completion time.
+
+    The hard-fault keywords are the engine's availability accounting:
+    ``fault_horizon_s`` is the observed simulation span the downtime is
+    measured against (0 — no fault model — reports availability 1).
     """
     if not 0.0 <= warmup_fraction < 1.0:
         raise ConfigurationError("warm-up fraction must lie in [0, 1)")
@@ -269,9 +358,10 @@ def compute_metrics(
         key=lambda record: (record.arrival_time_s, record.completion_time_s),
     )
     rejected = sum(1 for record in records if record.rejected)
-    trimmed = int(len(completed) * warmup_fraction)
+    served = [record for record in completed if getattr(record, "attempts", 1) > 0]
+    trimmed = int(len(served) * warmup_fraction)
     latency = LatencySummary.from_samples(
-        [record.latency_s for record in completed[trimmed:]]
+        [record.latency_s for record in served[trimmed:]]
     )
 
     sim_end = max((record.completion_time_s for record in records), default=0.0)
@@ -304,4 +394,22 @@ def compute_metrics(
         residual_bit_errors=int(sum(record.residual_bit_errors for record in completed)),
         configuration_switches=int(configuration_switches),
         reconfiguration_energy_j=float(reconfiguration_energy_j),
+        packets_retried=int(
+            sum(
+                max(0, record.packets_sent - record.packets_total)
+                for record in completed
+            )
+        ),
+        transfers_dropped=sum(1 for record in completed if record.packets_dropped > 0),
+        channel_downtime_s=float(channel_downtime_s),
+        availability=(
+            max(0.0, 1.0 - channel_downtime_s / (num_channels * fault_horizon_s))
+            if fault_horizon_s > 0.0
+            else 1.0
+        ),
+        fault_transitions=int(fault_transitions),
+        recoveries=int(recoveries),
+        mean_time_to_recover_s=(
+            float(recovery_time_s / recoveries) if recoveries else 0.0
+        ),
     )

@@ -92,14 +92,24 @@ class TestByteIdenticalParallelism:
         assert direct.render_text() == text
 
 
+def _read_checkpoint_lines(path: str) -> tuple[dict, list[dict]]:
+    """Parse a v2 JSON-lines checkpoint into (header, shard records)."""
+    lines = open(path, encoding="utf-8").read().splitlines()
+    header = json.loads(lines[0])
+    records = [json.loads(line) for line in lines[1:]]
+    return header, records
+
+
 class TestCheckpointResume:
     def test_checkpoint_written_and_resumed(self, tmp_path):
         first = run_experiment(
             "validation", options=FAST_VALIDATION, checkpoint_dir=str(tmp_path)
         )
         path = checkpoint_path(str(tmp_path), "validation")
-        stored = json.loads(open(path, encoding="utf-8").read())
-        assert len(stored["shards"]) == stored["num_shards"]
+        header, records = _read_checkpoint_lines(path)
+        assert header["kind"] == "header"
+        assert len(records) == header["num_shards"]
+        assert all(record["kind"] == "shard" and "checksum" in record for record in records)
 
         resumed = run_experiment(
             "validation", options=FAST_VALIDATION, checkpoint_dir=str(tmp_path), resume=True
@@ -111,13 +121,34 @@ class TestCheckpointResume:
             "validation", options=FAST_VALIDATION, checkpoint_dir=str(tmp_path)
         )
         path = checkpoint_path(str(tmp_path), "validation")
-        stored = json.loads(open(path, encoding="utf-8").read())
-        stored["shards"] = {
-            index: payload for index, payload in stored["shards"].items() if int(index) % 2 == 0
+        lines = open(path, encoding="utf-8").read().splitlines()
+        kept = [lines[0]] + [
+            line
+            for line in lines[1:]
+            if json.loads(line)["index"] % 2 == 0
+        ]
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(kept) + "\n")
+
+        resumed = run_experiment(
+            "validation", options=FAST_VALIDATION, checkpoint_dir=str(tmp_path), resume=True
+        )
+        assert _render(full) == _render(resumed)
+
+    def test_legacy_single_json_checkpoint_still_accepted(self, tmp_path):
+        full = run_experiment(
+            "validation", options=FAST_VALIDATION, checkpoint_dir=str(tmp_path)
+        )
+        path = checkpoint_path(str(tmp_path), "validation")
+        header, records = _read_checkpoint_lines(path)
+        legacy = {
+            "experiment": "validation",
+            "fingerprint": header["fingerprint"],
+            "num_shards": header["num_shards"],
+            "shards": {str(record["index"]): record["payload"] for record in records},
         }
         with open(path, "w", encoding="utf-8") as handle:
-            json.dump(stored, handle)
-
+            json.dump(legacy, handle)
         resumed = run_experiment(
             "validation", options=FAST_VALIDATION, checkpoint_dir=str(tmp_path), resume=True
         )
@@ -138,26 +169,38 @@ class TestCheckpointResume:
         assert _render(resumed) == _render(fresh)
         assert _render(resumed) != _render(stale)
 
-    def test_corrupt_checkpoint_is_recomputed(self, tmp_path):
+    def test_corrupt_checkpoint_is_quarantined_and_recomputed(self, tmp_path):
+        import os
+
         reference = run_experiment(
             "validation", options=FAST_VALIDATION, checkpoint_dir=str(tmp_path)
         )
         path = checkpoint_path(str(tmp_path), "validation")
-        stored = json.loads(open(path, encoding="utf-8").read())
-        stored["shards"]["not-an-index"] = {"bogus": True}
+
+        # A bit flip inside one record invalidates its checksum: that shard
+        # is recomputed, the rest are salvaged, and the damaged file is
+        # quarantined as *.corrupt instead of being silently rewritten.
+        lines = open(path, encoding="utf-8").read().splitlines()
+        record = json.loads(lines[1])
+        record["payload"], _ = {"bogus": True}, record["payload"]
+        lines[1] = json.dumps(record)
         with open(path, "w", encoding="utf-8") as handle:
-            json.dump(stored, handle)
+            handle.write("\n".join(lines) + "\n")
         resumed = run_experiment(
             "validation", options=FAST_VALIDATION, checkpoint_dir=str(tmp_path), resume=True
         )
         assert _render(reference) == _render(resumed)
+        assert os.path.exists(path + ".corrupt")
+        os.unlink(path + ".corrupt")
 
+        # Unparseable garbage quarantines the whole file and recomputes.
         with open(path, "w", encoding="utf-8") as handle:
             handle.write("{not json")
         recomputed = run_experiment(
             "validation", options=FAST_VALIDATION, checkpoint_dir=str(tmp_path), resume=True
         )
         assert _render(reference) == _render(recomputed)
+        assert os.path.exists(path + ".corrupt")
 
     def test_resume_without_checkpoint_dir_rejected(self):
         with pytest.raises(ConfigurationError):

@@ -15,10 +15,10 @@ import numpy as np
 import pytest
 
 from repro.coding.hamming import HammingCode
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, SimulationError
 from repro.manager.manager import CommunicationRequest, OpticalLinkManager
 from repro.manager.policies import DeadlineConstrainedPolicy, MinimumEnergyPolicy
-from repro.manager.runtime import RuntimeSimulation
+from repro.manager.runtime import AdaptiveEccController, RuntimeSimulation
 from repro.netsim import NetworkSimulator
 from repro.traffic.generators import (
     HotspotTrafficGenerator,
@@ -348,3 +348,56 @@ class TestEngineBehaviour:
             NetworkSimulator(warmup_fraction=1.0)
         with pytest.raises(ConfigurationError):
             NetworkSimulator(seed=1).run([])
+
+
+class _ExplodingController(AdaptiveEccController):
+    """Telemetry consumer that dies after a set number of observations."""
+
+    def __init__(self, *, explode_after: int = 0):
+        super().__init__(margins=[1.0, 2.0], mode="adaptive")
+        self._observations_left = explode_after
+
+    def observe(self, channel, now_s, **kwargs):
+        if self._observations_left <= 0:
+            raise RuntimeError("telemetry pipeline exploded")
+        self._observations_left -= 1
+        return super().observe(channel, now_s, **kwargs)
+
+
+class TestMidDrainErrorContext:
+    """A crash deep inside a handler must name the event that broke the run."""
+
+    def test_controller_crash_surfaces_with_event_context(self):
+        simulator = NetworkSimulator(controller=_ExplodingController(), seed=3)
+        with pytest.raises(SimulationError) as excinfo:
+            simulator.run(_single_stream_requests(3))
+        message = str(excinfo.value)
+        # The wrapper pins down what broke and when: event kind, simulated
+        # time, and the position in the event stream.
+        assert "DEPARTURE handler failed at t=" in message
+        assert "(event #" in message
+        assert "telemetry pipeline exploded" in message
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+
+    def test_simulation_errors_are_not_double_wrapped(self):
+        class _DomainErrorController(_ExplodingController):
+            def observe(self, channel, now_s, **kwargs):
+                raise SimulationError("domain-level failure")
+
+        simulator = NetworkSimulator(controller=_DomainErrorController(), seed=3)
+        with pytest.raises(SimulationError) as excinfo:
+            simulator.run(_single_stream_requests(1))
+        assert str(excinfo.value) == "domain-level failure"
+
+    def test_crashed_run_does_not_poison_a_fresh_simulator(self):
+        # Determinism after a failure: the same seed on a new engine must
+        # reproduce the healthy run exactly, even though a sibling engine
+        # just died mid-drain against the same traffic.
+        requests = _single_stream_requests(5)
+        baseline = NetworkSimulator(seed=11).run(requests).metrics().as_dict()
+        with pytest.raises(SimulationError):
+            NetworkSimulator(controller=_ExplodingController(explode_after=2), seed=11).run(
+                requests
+            )
+        again = NetworkSimulator(seed=11).run(requests).metrics().as_dict()
+        assert again == baseline

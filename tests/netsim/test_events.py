@@ -59,3 +59,34 @@ class TestEventQueue:
         early = Event(1.0, 0, EventKind.ARRIVAL, object())
         late = Event(2.0, 1, EventKind.ARRIVAL, object())
         assert early < late
+
+
+class TestMidDrainRobustness:
+    """A consumer exception must not tear the heap mid-drain."""
+
+    def test_consumer_exception_leaves_remaining_events_intact(self):
+        queue = EventQueue()
+        for index in range(6):
+            queue.push(float(index), EventKind.ARRIVAL, index)
+        with pytest.raises(RuntimeError):
+            for event in queue.drain():
+                if event.payload == 2:
+                    raise RuntimeError("handler blew up")
+        # The failing event was popped (drain pops before yielding), the
+        # survivors still pop in order, and the counter saw only real pops.
+        assert queue.events_processed == 3
+        assert len(queue) == 3
+        assert [event.payload for event in queue.drain()] == [3, 4, 5]
+        assert queue.events_processed == 6
+
+    def test_resumed_drain_accepts_new_pushes(self):
+        queue = EventQueue()
+        queue.push(1.0, EventKind.ARRIVAL, "a")
+        queue.push(3.0, EventKind.ARRIVAL, "c")
+        with pytest.raises(ValueError):
+            for event in queue.drain():
+                raise ValueError("first event is poison")
+        # Ordering invariants survive the abort: a push landing between the
+        # abort and the resume still sorts against the pending events.
+        queue.push(2.0, EventKind.DEPARTURE, "b")
+        assert [event.payload for event in queue.drain()] == ["b", "c"]
