@@ -17,10 +17,17 @@ saturates the hot reader's channel first and bursty traffic adds heavy
 frame-size variance — the three canonical shapes of the load/latency
 curve.
 
-The grid descriptor shards one (pattern, load, policy) point per shard,
-each rebuilding its generators from ``SeedSequence(seed, spawn_key=
-(spawn_index, stream))``, so ``repro-experiments network --jobs N`` is
-byte-identical to the serial run.
+The grid descriptor shards one (pattern, load, policy, ring) point per
+shard, each rebuilding its generators from ``SeedSequence(seed,
+spawn_key=(spawn_index, stream))``, so ``repro-experiments network
+--jobs N`` is byte-identical to the serial run.  ``options["rings"]``
+replicates every grid point across that many independent rings (distinct
+seeds, same configuration) — the multi-ring scale-out path: rings shard
+across orchestrator workers and their rows merge into one aggregate row
+per grid point (extensive counters summed exactly, rates and latency
+percentiles combined as completed-weighted means).  ``options["engine"]``
+selects the simulator's event engine (``"batched"`` by default,
+``"reference"`` for the legacy per-event loop).
 """
 
 from __future__ import annotations
@@ -37,7 +44,7 @@ from ..manager.policies import (
     MinimumEnergyPolicy,
     MinimumPowerPolicy,
 )
-from ..netsim import NetworkSimulator
+from ..netsim import ENGINES, NetworkSimulator
 from ..traffic.generators import (
     BurstyTrafficGenerator,
     HotspotTrafficGenerator,
@@ -183,12 +190,16 @@ class NetworkSweepResult:
 
 # ------------------------------------------------------------------ grid API
 def sweep_shards(config: PaperConfig = DEFAULT_CONFIG, options: dict | None = None) -> list[dict]:
-    """Grid descriptor: one shard per (pattern, load, policy) point.
+    """Grid descriptor: one shard per (pattern, load, policy, ring) point.
 
     ``options`` may override ``patterns``, ``loads``, ``policies``,
     ``num_requests``, ``payload_bits``, ``target_ber``, ``packet_bits``,
-    ``mode``, ``max_retries``, ``warmup_fraction`` and ``seed`` (all
-    JSON-serializable; they become part of the checkpoint fingerprint).
+    ``mode``, ``engine``, ``rings``, ``max_retries``, ``warmup_fraction``
+    and ``seed`` (all JSON-serializable; they become part of the checkpoint
+    fingerprint).  ``rings`` replicates each grid point across that many
+    independently seeded rings, one shard per ring, so ``--jobs`` spreads
+    the replicas across workers; their rows merge back into one aggregate
+    row per grid point.
     """
     options = options or {}
     patterns = list(options.get("patterns", DEFAULT_PATTERNS))
@@ -199,38 +210,49 @@ def sweep_shards(config: PaperConfig = DEFAULT_CONFIG, options: dict | None = No
             raise ConfigurationError(
                 f"unknown policy {policy!r}; available: {sorted(_POLICY_FACTORIES)}"
             )
+    engine = str(options.get("engine", "batched"))
+    if engine not in ENGINES:
+        raise ConfigurationError(f"unknown engine {engine!r}; available: {ENGINES}")
+    rings = int(options.get("rings", 1))
+    if rings < 1:
+        raise ConfigurationError("rings must be a positive integer")
     shards = []
     spawn_index = 0
     for pattern in patterns:
         for policy in policies:
             for load in loads:
-                shards.append(
-                    {
-                        "pattern": pattern,
-                        "policy": policy,
-                        "load": load,
-                        "num_requests": int(options.get("num_requests", DEFAULT_NUM_REQUESTS)),
-                        "payload_bits": int(options.get("payload_bits", DEFAULT_PAYLOAD_BITS)),
-                        "target_ber": float(options.get("target_ber", DEFAULT_TARGET_BER)),
-                        "packet_bits": int(options.get("packet_bits", 512)),
-                        "mode": str(options.get("mode", "probabilistic")),
-                        "max_retries": int(options.get("max_retries", 4)),
-                        "warmup_fraction": float(options.get("warmup_fraction", 0.1)),
-                        "seed": int(options.get("seed", DEFAULT_SEED)),
-                        "spawn_index": spawn_index,
-                    }
-                )
-                spawn_index += 1
+                for ring in range(rings):
+                    shards.append(
+                        {
+                            "pattern": pattern,
+                            "policy": policy,
+                            "load": load,
+                            "ring": ring,
+                            "rings": rings,
+                            "engine": engine,
+                            "num_requests": int(options.get("num_requests", DEFAULT_NUM_REQUESTS)),
+                            "payload_bits": int(options.get("payload_bits", DEFAULT_PAYLOAD_BITS)),
+                            "target_ber": float(options.get("target_ber", DEFAULT_TARGET_BER)),
+                            "packet_bits": int(options.get("packet_bits", 512)),
+                            "mode": str(options.get("mode", "probabilistic")),
+                            "max_retries": int(options.get("max_retries", 4)),
+                            "warmup_fraction": float(options.get("warmup_fraction", 0.1)),
+                            "seed": int(options.get("seed", DEFAULT_SEED)),
+                            "spawn_index": spawn_index,
+                        }
+                    )
+                    spawn_index += 1
     return shards
 
 
 def run_sweep_shard(params: dict, config: PaperConfig = DEFAULT_CONFIG) -> dict:
-    """Worker: simulate one (pattern, load, policy) point; JSON payload.
+    """Worker: simulate one (pattern, load, policy, ring) point; JSON payload.
 
     Traffic and engine rebuild their generators from
     ``SeedSequence(seed, spawn_key=(spawn_index, stream))``, so the payload
     depends only on the grid position — the property that makes parallel
-    sweeps byte-identical to serial ones.
+    sweeps byte-identical to serial ones.  A ring is one more grid axis:
+    its spawn index (hence its streams) differs from every other ring's.
     """
     rate_hz = request_rate_for_load(
         params["load"], config, payload_bits=params["payload_bits"]
@@ -247,6 +269,7 @@ def run_sweep_shard(params: dict, config: PaperConfig = DEFAULT_CONFIG) -> dict:
         config=config,
         policy=_POLICY_FACTORIES[params["policy"]](),
         mode=params["mode"],
+        engine=params.get("engine", "batched"),
         packet_bits=params["packet_bits"],
         max_retries=params["max_retries"],
         warmup_fraction=params["warmup_fraction"],
@@ -258,8 +281,106 @@ def run_sweep_shard(params: dict, config: PaperConfig = DEFAULT_CONFIG) -> dict:
         "policy": params["policy"],
         "load": params["load"],
     }
+    if params.get("rings", 1) > 1:
+        payload["ring"] = params.get("ring", 0)
     payload.update(result.metrics().as_dict())
     return payload
+
+
+#: Extensive counters: summing over rings is exact.
+_MERGE_SUM_KEYS = frozenset(
+    {
+        "transfers_completed",
+        "transfers_rejected",
+        "warmup_transfers_trimmed",
+        "packets_sent",
+        "packets_delivered",
+        "packets_dropped",
+        "packets_retried",
+        "transfers_dropped",
+        "undetected_corrupt_packets",
+        "configuration_switches",
+        "fault_transitions",
+        "recoveries",
+        "reconfiguration_energy_j",
+        "total_energy_j",
+        "channel_downtime_s",
+        "offered_gbps",
+        "delivered_gbps",
+    }
+)
+#: Envelope statistics: the aggregate's extreme is the rings' extreme.
+_MERGE_MAX_KEYS = frozenset({"sim_end_time_s", "peak_utilization"})
+#: Intensive statistics merged as weighted means — the weight is the count
+#: the statistic was computed over.  Percentile merging is approximate
+#: (the exact pooled percentile would need the raw latencies), which the
+#: sweep accepts: rings are i.i.d. replicas, so completed-weighted means
+#: of their percentiles converge on the pooled values.
+_MERGE_WEIGHT_KEYS = {
+    "latency_mean_s": "transfers_completed",
+    "latency_p50_s": "transfers_completed",
+    "latency_p95_s": "transfers_completed",
+    "latency_p99_s": "transfers_completed",
+    "retransmission_rate": "packets_sent",
+    "packet_drop_rate": "packets_sent",
+    "delivered_packet_error_rate": "packets_delivered",
+    "delivered_bit_error_rate": "packets_delivered",
+    "crc_escape_rate": "packets_delivered",
+    "mean_time_to_recover_s": "recoveries",
+}
+
+
+def _weighted_mean(values, weights) -> float:
+    total = sum(weights)
+    if total <= 0:
+        return sum(values) / len(values)
+    return sum(v * w for v, w in zip(values, weights)) / total
+
+
+def _merge_ring_rows(rows: Sequence[dict]) -> dict:
+    """Collapse one grid point's per-ring rows into its aggregate row."""
+    if len(rows) == 1:
+        row = dict(rows[0])
+        row.pop("ring", None)
+        return row
+    merged: dict = {}
+    for key in rows[0]:
+        if key == "ring":
+            continue
+        values = [row[key] for row in rows]
+        if key in ("pattern", "policy", "load"):
+            merged[key] = values[0]
+        elif key in _MERGE_SUM_KEYS:
+            merged[key] = sum(values)
+        elif key in _MERGE_MAX_KEYS:
+            merged[key] = max(values)
+        elif key == "energy_per_bit_pj":
+            # Exact: recover each ring's delivered bits from its own
+            # energy-per-bit, then divide pooled energy by pooled bits.
+            energies = [row["total_energy_j"] for row in rows]
+            bits = [e / (pj * 1e-12) for e, pj in zip(energies, values) if pj > 0.0]
+            merged[key] = (
+                sum(e for e, pj in zip(energies, values) if pj > 0.0) / sum(bits) * 1e12
+                if bits
+                else 0.0
+            )
+        else:
+            weight_key = _MERGE_WEIGHT_KEYS.get(key)
+            weights = (
+                [row[weight_key] for row in rows]
+                if weight_key is not None
+                else [1.0] * len(rows)
+            )
+            merged[key] = _weighted_mean(values, weights)
+    return merged
+
+
+def _merge_payloads(payloads: Sequence[dict]) -> list[dict]:
+    """Group shard payloads by grid point and merge each point's rings."""
+    groups: dict[tuple, list[dict]] = {}
+    for row in payloads:
+        groups.setdefault((row["pattern"], row["policy"], row["load"]), []).append(row)
+    return [_merge_ring_rows(rows) for rows in groups.values()]
 
 
 def merge_sweep(
@@ -267,10 +388,15 @@ def merge_sweep(
     config: PaperConfig = DEFAULT_CONFIG,
     options: dict | None = None,
 ) -> tuple[str, list[dict]]:
-    """Assemble shard payloads into the (text report, CSV rows) pair."""
+    """Assemble shard payloads into the (text report, CSV rows) pair.
+
+    Per-ring payloads of the same (pattern, policy, load) point merge into
+    one aggregate row; with ``rings=1`` (the default) this is the identity
+    and the output is unchanged from the single-ring sweep.
+    """
     options = options or {}
     result = NetworkSweepResult(
-        rows=list(payloads),
+        rows=_merge_payloads(payloads),
         num_requests=int(options.get("num_requests", DEFAULT_NUM_REQUESTS)),
         mode=str(options.get("mode", "probabilistic")),
     )
@@ -286,7 +412,7 @@ def run_network(
     payloads = [run_sweep_shard(params, config) for params in sweep_shards(config, options)]
     options = options or {}
     return NetworkSweepResult(
-        rows=payloads,
+        rows=_merge_payloads(payloads),
         num_requests=int(options.get("num_requests", DEFAULT_NUM_REQUESTS)),
         mode=str(options.get("mode", "probabilistic")),
     )

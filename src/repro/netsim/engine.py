@@ -15,23 +15,40 @@ Event lifecycle of one transfer::
       └─ manager.configure()   policy selects code + laser power
       └─ arbiter.request()     token + channel reservation on the reader's
                                channel (FIFO in event order)
+      └─ sample packet outcomes (probabilistic or bit-exact)
       └─ schedule DEPARTURE at start + serialization time
     DEPARTURE(t')              attempt finishes serialising
-      └─ sample packet outcomes (probabilistic or bit-exact)
+      └─ commit the attempt's sampled outcome
       ├─ CRC-detected failures left and retries remain
       │    └─ arbiter.request() again → schedule next DEPARTURE (ARQ)
       └─ otherwise finalise the record, release the manager entry
 
 Determinism: the event queue is totally ordered by ``(time, insertion
-sequence)`` and every random draw — traffic aside — flows through one
-``SeedSequence``-resolved generator in pop order, so a run is a pure
-function of its seed.  There is no wall-clock anywhere.
+sequence)`` and every random draw — traffic aside — flows through two
+``SeedSequence``-resolved generators in deterministic event order, so a
+run is a pure function of its seed.  The *primary* stream pays each
+attempt's fixed-size per-block uniforms at the moment the attempt is
+scheduled; the *resolution* stream (spawned from the primary seed) pays
+the data-dependent draws of the rare failing attempts.  Splitting the
+streams this way is what lets the epoch-batched engine concatenate many
+attempts' primary draws into one vectorized call while staying
+byte-identical to this reference engine (see :mod:`repro.netsim.epoch`).
+There is no wall-clock anywhere.
+
+Two engines execute that identical event semantics:
+
+* ``engine="batched"`` (the default) — the epoch-batched core of
+  :mod:`repro.netsim.epoch`: a merge-ordered event core and flush-on-demand
+  vectorized outcome sampling.  ~10x the events/s of the reference loop.
+* ``engine="reference"`` — the legacy per-event heap loop below, kept as
+  the differential-testing baseline (``tests/netsim/test_engine_parity.py``
+  pins the two byte-identical across the full scenario grid).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, NamedTuple
 
 import numpy as np
 
@@ -69,10 +86,18 @@ __all__ = ["NetTransferRecord", "NetworkResult", "NetworkSimulator"]
 #: Supported packet-outcome modes.
 MODES = ("probabilistic", "bit-exact")
 
+#: Supported event-core engines (the first is the default).
+ENGINES = ("batched", "reference")
 
-@dataclass(frozen=True, slots=True)
-class NetTransferRecord:
-    """End-to-end outcome of one traffic request."""
+
+class NetTransferRecord(NamedTuple):
+    """End-to-end outcome of one traffic request.
+
+    A ``NamedTuple`` rather than a frozen dataclass: the engines construct
+    one per transfer on their hottest path, and tuple construction is ~6x
+    cheaper than a frozen dataclass ``__init__`` (which routes every field
+    through ``object.__setattr__``).
+    """
 
     source: int
     destination: int
@@ -210,6 +235,13 @@ class _TransferState:
     deferrals: int = 0
     attempt_blacked_out: bool = False
     deadline_s: float | None = None
+    #: Outcome of the in-flight attempt.  Sampled when the attempt is
+    #: *scheduled* (both engines share that contract) and committed when its
+    #: DEPARTURE pops.  The reference engine stores the resolved
+    #: :class:`TransmissionOutcome` eagerly; the batched engine parks a
+    #: flush-queue sentinel here until the first dependent departure forces
+    #: the epoch's vectorized draw.
+    pending_outcome: object = None
 
 
 class NetworkSimulator:
@@ -230,6 +262,13 @@ class NetworkSimulator:
         ``"probabilistic"`` (analytic frame-error sampling, the fast
         default) or ``"bit-exact"`` (real codewords through the batch
         coding API, for cross-validation).
+    engine:
+        ``"batched"`` (the default) runs the epoch-batched event core of
+        :mod:`repro.netsim.epoch`; ``"reference"`` runs the legacy
+        per-event heap loop.  The two are byte-identical — same records,
+        metrics, traces and event counts for the same seed — differing
+        only in speed; the reference engine exists as the differential
+        parity baseline.
     packet_bits:
         Payload bits per packet; payloads are split and zero padded.
     crc:
@@ -249,7 +288,8 @@ class NetworkSimulator:
     rng / seed:
         The usual seeding vocabulary (:func:`resolve_rng`); pass at most
         one.  Everything stochastic inside the engine draws from this
-        single generator in event order.
+        generator — plus a resolution stream spawned from it for the
+        data-dependent draws of failing attempts — in event order.
     warmup_fraction:
         Leading fraction of completed transfers excluded from the latency
         summary (queues fill during warm-up).
@@ -308,6 +348,7 @@ class NetworkSimulator:
         manager: OpticalLinkManager | None = None,
         policy: SelectionPolicy | None = None,
         mode: str = "probabilistic",
+        engine: str = "batched",
         packet_bits: int = 512,
         crc: str | None = "crc16-ccitt",
         max_retries: int = 4,
@@ -326,6 +367,8 @@ class NetworkSimulator:
     ):
         if mode not in MODES:
             raise ConfigurationError(f"unknown mode {mode!r}; available: {MODES}")
+        if engine not in ENGINES:
+            raise ConfigurationError(f"unknown engine {engine!r}; available: {ENGINES}")
         if packet_bits < 1:
             raise ConfigurationError("packet size must be at least one bit")
         if max_retries < 0:
@@ -393,12 +436,22 @@ class NetworkSimulator:
         self.manager = manager if manager is not None else OpticalLinkManager(config=config)
         self.policy = policy
         self.mode = mode
+        self.engine = engine
         self.packet_bits = int(packet_bits)
         self.crc = CyclicRedundancyCheck.from_name(crc) if crc is not None else None
         self.max_retries = int(max_retries)
         self.warmup_fraction = float(warmup_fraction)
         self._fault_model = fault_model
         self._rng = resolve_rng(rng, seed)
+        # The resolution stream (failing attempts' CRC-escape/binomial draws)
+        # is a deterministic function of the primary seed, so passing the
+        # same rng/seed still makes the whole run a pure function of it.
+        try:
+            self._resolve_rng = self._rng.spawn(1)[0]
+        except (AttributeError, TypeError):  # pragma: no cover - NumPy < 1.25
+            self._resolve_rng = np.random.default_rng(
+                int(self._rng.integers(0, np.iinfo(np.int64).max))
+            )
         self._dynamics = dynamics
         self._controller = controller
         self._telemetry_rng = resolve_rng(None, telemetry_seed)
@@ -474,6 +527,14 @@ class NetworkSimulator:
     # ------------------------------------------------------------------ simulation
     def run(self, requests: Iterable[TrafficRequest]) -> NetworkResult:
         """Simulate a finite request sequence to completion."""
+        if self.engine == "reference":
+            return self._run_reference(requests)
+        from .epoch import run_batched
+
+        return run_batched(self, requests)
+
+    def _run_reference(self, requests: Iterable[TrafficRequest]) -> NetworkResult:
+        """The legacy per-event heap loop (the parity-testing baseline)."""
         run = _RunState()
         if self._controller is not None:
             self._controller.reset()
@@ -523,7 +584,15 @@ class NetworkSimulator:
                 f"(event #{run.queue.events_processed}): {exc}"
             ) from exc
         run.end_s = event.time_s
+        return self._finish_run(run)
 
+    def _finish_run(self, run: _RunState) -> NetworkResult:
+        """Settle end-of-run fault accounting and assemble the result.
+
+        Shared by both engines: everything here is a pure function of the
+        drained run state, so byte-identical run states (which the parity
+        suite pins) yield byte-identical results.
+        """
         if self._failures is not None and run.down_since:
             # Channels still down when the run ends: their outage is charged
             # up to the last processed event, but does not count as a
@@ -817,6 +886,22 @@ class NetworkSimulator:
             state.attempt_raw_ber = min(1.0, state.design_raw_ber * multiplier)
         elif self._failures is not None:
             self._apply_attempt_health(state, destination, start_s, action)
+        if not state.attempt_blacked_out:
+            # The attempt's outcome is drawn at *schedule* time — the
+            # contract both engines share: the primary stream is consumed
+            # in attempt-schedule order (fixed size per attempt), failing
+            # attempts resolve from the separate resolution stream.  A
+            # blacked-out attempt consumes no randomness at all (its loss
+            # is certain), keeping the streams aligned with a fault-free
+            # run.  The outcome is committed when the DEPARTURE pops.
+            if self.mode == "probabilistic":
+                state.pending_outcome = state.sampler.sample(
+                    state.packets_remaining,
+                    raw_ber=state.attempt_raw_ber,
+                    resolve_rng=self._resolve_rng,
+                )
+            else:
+                state.pending_outcome = state.sampler.sample(state.packets_remaining)
         self._charge_trace(
             run, start_s, energy_j=attempt_energy_j, packets=state.packets_remaining
         )
@@ -891,12 +976,8 @@ class NetworkSimulator:
                 residual_bit_errors=0,
             )
         else:
-            if state.attempt_raw_ber is not None:
-                outcome = state.sampler.sample(
-                    state.packets_remaining, raw_ber=state.attempt_raw_ber
-                )
-            else:
-                outcome = state.sampler.sample(state.packets_remaining)
+            outcome = state.pending_outcome
+            state.pending_outcome = None
             if self._controller is not None and self._controller.wants_observations:
                 self._feed_controller(now_s, state, outcome, run)
         state.packets_delivered += outcome.delivered

@@ -9,14 +9,32 @@ residual errors corrupted.  Two interchangeable samplers produce that
 outcome:
 
 * :class:`ProbabilisticOutcomeSampler` — the fast default.  Per-block
-  decode failures are Bernoulli draws from the decoder's analytic
+  decode failures are i.i.d. Bernoulli in the decoder's analytic
   frame-error probability (:func:`repro.coding.theory.block_error_probability`,
-  exact for the paper's Hamming codes), sampled batch-at-a-time for the
-  whole attempt; CRC escapes use the standard ``2^-width`` random-error
+  exact for the paper's Hamming codes), sampled as one attempt-level gate
+  draw plus a conditional failed-block pattern for the rare attempts the
+  gate flags; CRC escapes use the standard ``2^-width`` random-error
   approximation, and residual bit counts are drawn with the
   dominant-error-event conditional mean (a weight-``2t+1`` codeword error
   per failed block).  No codeword ever materialises, which is what keeps
   the engine in the 10^6 packets/s range.
+
+  The sampler's stream contract is what makes the epoch-batched engine
+  possible: every attempt consumes exactly *one* double from the primary
+  stream — compared against the attempt-level failure probability
+  ``1 - (1 - p_block)^(packets x blocks)``, so "any block failed" is
+  decided without materialising per-block uniforms — while the
+  data-dependent draws of the rare failing attempts (the conditional
+  failed-block pattern, CRC escapes, residual-bit binomials) come from a
+  separate *resolution* stream.  Because ``Generator.random`` fills
+  sequentially from the bit stream, one vectorized primary draw for many
+  attempts is bit-identical to per-attempt draws — so the batched engine
+  draws whole epochs at once (:meth:`~ProbabilisticOutcomeSampler.outcome_from_uniform`
+  per queued attempt) and stays byte-identical to the reference engine's
+  per-event draws.  The per-block joint distribution is unchanged: the
+  conditional pattern (first failed block truncated-geometric, the rest
+  i.i.d. Bernoulli) is exactly i.i.d. per-block failures conditioned on at
+  least one.
 * :class:`BitExactOutcomeSampler` — the cross-validation twin.  Every
   packet is CRC-appended (batch table CRC), encoded, corrupted by a real
   fault-injection model
@@ -30,7 +48,8 @@ outcome:
   of magnitude — it is the ground truth the probabilistic mode is tested
   against (``tests/netsim/test_engine.py``).
 
-Both samplers draw from the engine's single generator, so a simulation's
+Both samplers draw from engine-owned generators (a primary stream plus, for
+the probabilistic sampler, the derived resolution stream), so a simulation's
 outcome depends only on its seed and event order.
 """
 
@@ -170,6 +189,8 @@ class ProbabilisticOutcomeSampler:
         #: stays small.
         self._failure_params: dict[float, tuple[float, float]] = {}
         self._disturb_cache: dict[float, float] = {}
+        #: (num_packets, raw BER) -> attempt-level failure probability.
+        self._attempt_failure_cache: dict[tuple, float] = {}
         self.block_failure_probability, self._residual_rate = self._params_for(self.raw_ber)
 
     def _params_for(self, raw_ber: float) -> tuple[float, float]:
@@ -199,6 +220,50 @@ class ProbabilisticOutcomeSampler:
         self._failure_params[raw_ber] = (failure, residual_rate)
         return failure, residual_rate
 
+    def failure_probability_for(self, raw_ber: float | None = None) -> float:
+        """Per-block decode-failure probability at one raw BER (cached)."""
+        if raw_ber is None:
+            return self.block_failure_probability
+        return self._params_for(float(raw_ber))[0]
+
+    def primary_draw_count(self, num_packets: int) -> int:
+        """Doubles one attempt consumes from the primary stream (always 1).
+
+        Fixed and known before any randomness is drawn — the property the
+        epoch-batched engine relies on to draw many attempts' uniforms in
+        one vectorized ``Generator.random`` call.
+        """
+        return 1
+
+    def attempt_failure_probability(
+        self, num_packets: int, raw_ber: float | None = None
+    ) -> float:
+        """Probability at least one block of the attempt fails to decode.
+
+        ``1 - (1 - p_block)^(packets x blocks_per_packet)`` — the threshold
+        the attempt's single primary uniform is compared against.  Cached
+        per ``(num_packets, raw BER)``; the drift model quantises its
+        multipliers and attempt sizes repeat (full transfers plus ARQ
+        remainders), so the cache stays small.
+        """
+        key = (num_packets, raw_ber)
+        cached = self._attempt_failure_cache.get(key)
+        if cached is None:
+            p = (
+                self.block_failure_probability
+                if raw_ber is None
+                else self._params_for(float(raw_ber))[0]
+            )
+            blocks = num_packets * self.blocks_per_packet
+            if p <= 0.0:
+                cached = 0.0
+            elif p >= 1.0:
+                cached = 1.0
+            else:
+                cached = -math.expm1(blocks * math.log1p(-p))
+            self._attempt_failure_cache[key] = cached
+        return cached
+
     def block_disturb_probability(self, raw_ber: float | None = None) -> float:
         """Probability one block suffers at least one raw channel flip.
 
@@ -222,7 +287,13 @@ class ProbabilisticOutcomeSampler:
         """Wire bits occupied by one packet (blocks x n)."""
         return self.blocks_per_packet * int(self.code.n)
 
-    def sample(self, num_packets: int, *, raw_ber: float | None = None) -> TransmissionOutcome:
+    def sample(
+        self,
+        num_packets: int,
+        *,
+        raw_ber: float | None = None,
+        resolve_rng: np.random.Generator | None = None,
+    ) -> TransmissionOutcome:
         """Draw the outcome of transmitting ``num_packets`` packets.
 
         ``raw_ber`` overrides the channel's raw error probability for this
@@ -230,22 +301,97 @@ class ProbabilisticOutcomeSampler:
         time-varying channel).  No extra randomness is consumed for the
         override itself, and an override equal to the design BER reproduces
         the static channel draw for draw — which is what makes a zero-drift
-        adaptive run byte-identical to today's static engine.
+        adaptive run byte-identical to a static one.
+
+        ``resolve_rng`` is the stream the data-dependent draws of a failing
+        attempt come from (the engine passes its dedicated resolution
+        stream, keeping the primary stream's consumption fixed per attempt);
+        the default resolves from the sampler's own generator, preserving
+        the historical single-stream behaviour for standalone use.
         """
         if num_packets < 1:
             raise ConfigurationError("an attempt must carry at least one packet")
+        return self.outcome_from_uniform(
+            self._rng.random(),
+            num_packets,
+            raw_ber=raw_ber,
+            resolve_rng=self._rng if resolve_rng is None else resolve_rng,
+        )
+
+    def outcome_from_uniform(
+        self,
+        uniform: float,
+        num_packets: int,
+        *,
+        raw_ber: float | None = None,
+        resolve_rng: np.random.Generator,
+    ) -> TransmissionOutcome:
+        """Resolve an attempt's outcome from its pre-drawn primary uniform.
+
+        ``uniform`` is the attempt's single primary-stream double (e.g. cut
+        out of one epoch-wide draw); the rare failing attempts consume
+        further draws from ``resolve_rng`` only.  Calling this per attempt
+        in schedule order on a vectorized draw is bit-identical to
+        per-attempt :meth:`sample` calls against the same two streams.
+        """
+        if uniform >= self.attempt_failure_probability(num_packets, raw_ber):
+            return TransmissionOutcome(num_packets, 0, 0, 0)
+        return self.resolve_failed_attempt(
+            num_packets, raw_ber=raw_ber, resolve_rng=resolve_rng
+        )
+
+    def resolve_failed_attempt(
+        self,
+        num_packets: int,
+        *,
+        raw_ber: float | None = None,
+        resolve_rng: np.random.Generator,
+    ) -> TransmissionOutcome:
+        """Outcome of an attempt *known* to have at least one failed block.
+
+        Samples the failed-block pattern conditioned on the attempt-level
+        failure event the primary uniform decided: the first failed block
+        index is truncated-geometric (one inverse-CDF uniform), the blocks
+        after it fail i.i.d. (one binomial for the count, a uniform subset
+        for the positions) — together exactly the joint law of i.i.d.
+        per-block Bernoulli failures given at least one.  Every draw comes
+        from ``resolve_rng``.
+        """
         failure_probability, residual_rate = (
             (self.block_failure_probability, self._residual_rate)
             if raw_ber is None
             else self._params_for(float(raw_ber))
         )
-        rng = self._rng
-        shape = (num_packets, self.blocks_per_packet)
-        failed_blocks = rng.random(shape) < failure_probability
-        packet_failed = failed_blocks.any(axis=1)
-        failed_indices = np.nonzero(packet_failed)[0]
-        if failed_indices.size == 0:
-            return TransmissionOutcome(num_packets, 0, 0, 0)
+        rng = resolve_rng
+        blocks_per_packet = self.blocks_per_packet
+        total_blocks = num_packets * blocks_per_packet
+        # First failed block (flat, row-major transmission order): smallest
+        # j with CDF(j) = (1 - q^(j+1)) / (1 - q^N) >= v.
+        v = rng.random()
+        if failure_probability >= 1.0:
+            first = 0
+        else:
+            attempt_probability = self.attempt_failure_probability(num_packets, raw_ber)
+            first = (
+                math.ceil(
+                    math.log1p(-v * attempt_probability)
+                    / math.log1p(-failure_probability)
+                )
+                - 1
+            )
+            if first < 0:
+                first = 0
+            elif first >= total_blocks:
+                first = total_blocks - 1
+        remaining_blocks = total_blocks - first - 1
+        extra = int(rng.binomial(remaining_blocks, failure_probability)) if remaining_blocks else 0
+        if extra:
+            offsets = rng.choice(remaining_blocks, size=extra, replace=False)
+            flat = np.concatenate(([first], first + 1 + offsets))
+        else:
+            flat = np.array([first])
+        failed_per_packet = np.bincount(flat // blocks_per_packet, minlength=num_packets)
+        failed_indices = np.nonzero(failed_per_packet)[0]
 
         if self.crc_width:
             escaped = rng.random(failed_indices.size) < self.undetected_probability
@@ -256,7 +402,7 @@ class ProbabilisticOutcomeSampler:
 
         residual = 0
         if delivered_failed.size:
-            blocks_in_error = int(failed_blocks[delivered_failed].sum())
+            blocks_in_error = int(failed_per_packet[delivered_failed].sum())
             residual = blocks_in_error
             if residual_rate > 0.0 and self.code.k > 1:
                 residual += int(

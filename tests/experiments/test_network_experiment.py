@@ -115,3 +115,71 @@ class TestCheckpointing:
             "network", options=FAST_NETWORK, checkpoint_dir=str(tmp_path), resume=True
         )
         assert _render(first) == _render(resumed)
+
+
+#: Tiny two-ring grid for the scale-out tests (8 shards).
+RING_NETWORK = {
+    "patterns": ["uniform"],
+    "loads": [0.2, 0.6],
+    "policies": ["min-power", "min-energy"],
+    "num_requests": 120,
+    "payload_bits": 2048,
+    "seed": 5,
+    "rings": 2,
+}
+
+
+class TestMultiRingSharding:
+    def test_rings_multiply_the_shard_count(self):
+        single = sweep_shards(options={**RING_NETWORK, "rings": 1})
+        double = sweep_shards(options=RING_NETWORK)
+        assert len(double) == 2 * len(single)
+        assert [s["spawn_index"] for s in double] == list(range(len(double)))
+        assert {s["ring"] for s in double} == {0, 1}
+
+    def test_rings_are_independently_seeded(self):
+        shards = sweep_shards(options=RING_NETWORK)
+        point = [s for s in shards if s["load"] == 0.2 and s["policy"] == "min-power"]
+        assert len(point) == 2
+        from repro.experiments.network import run_sweep_shard
+
+        rows = [run_sweep_shard(p) for p in point]
+        # Same grid point, different ring -> different streams, different rows.
+        assert rows[0]["latency_p50_s"] != rows[1]["latency_p50_s"]
+
+    def test_merged_rows_aggregate_ring_counters_exactly(self):
+        from repro.experiments.network import run_sweep_shard
+
+        shards = sweep_shards(options=RING_NETWORK)
+        payloads = [run_sweep_shard(p) for p in shards]
+        _, rows = run_experiment("network", options=RING_NETWORK)
+        assert len(rows) == len(shards) // 2
+        for row in rows:
+            ring_rows = [
+                p
+                for p in payloads
+                if (p["pattern"], p["policy"], p["load"])
+                == (row["pattern"], row["policy"], row["load"])
+            ]
+            assert len(ring_rows) == 2
+            for key in ("transfers_completed", "packets_sent", "total_energy_j"):
+                assert row[key] == sum(r[key] for r in ring_rows)
+            assert "ring" not in row
+
+    def test_multi_ring_parallel_is_byte_identical_to_serial(self):
+        serial = run_experiment("network", options=RING_NETWORK)
+        parallel = run_experiment("network", options=RING_NETWORK, jobs=4)
+        assert _render(serial) == _render(parallel)
+
+    def test_engine_choice_does_not_change_the_report(self):
+        batched = run_experiment("network", options={**RING_NETWORK, "engine": "batched"})
+        reference = run_experiment(
+            "network", options={**RING_NETWORK, "engine": "reference"}
+        )
+        assert _render(batched) == _render(reference)
+
+    def test_invalid_options_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep_shards(options={"rings": 0})
+        with pytest.raises(ConfigurationError):
+            sweep_shards(options={"engine": "warp-drive"})

@@ -1,0 +1,245 @@
+"""Differential parity harness: epoch-batched engine vs the reference loop.
+
+The batched engine (:mod:`repro.netsim.epoch`) claims *byte-identical*
+results to the reference per-event loop — same records, same metrics, same
+interval traces, same event counts — across every feature that rides the
+hot path: fault timelines with the degradation ladder, channel drift with
+static/adaptive/oracle controllers, ARQ backoff and timeouts, and both
+outcome modes.  This suite is the proof: every test runs the identical
+workload through both engines (freshly built models on each side, same
+seeds everywhere) and asserts equality of everything a
+:class:`~repro.netsim.engine.NetworkResult` exposes.
+
+The default grid keeps tier-1 fast; set ``REPRO_PARITY_LONG=1`` to sweep
+the full fault x drift x policy x load x seed cross-product.
+"""
+
+from __future__ import annotations
+
+import os
+from itertools import product
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.manager.policies import (
+    DeadlineConstrainedPolicy,
+    DegradationLadder,
+    margin_levels,
+)
+from repro.manager.runtime import AdaptiveEccController
+from repro.netsim import NetworkSimulator, make_drift_model, make_fault_model
+from repro.netsim.failures import FAULT_SCENARIOS
+from repro.traffic.generators import UniformTrafficGenerator
+
+NUM_ONIS = DEFAULT_CONFIG.num_onis
+NW = DEFAULT_CONFIG.num_wavelengths
+
+DRIFT_PROFILES = ("thermal", "aging", "random-walk")
+POLICIES = (None, "static", "adaptive", "oracle")
+
+RESULT_FIELDS = (
+    "records",
+    "busy_s_by_reader",
+    "grant_counts_by_reader",
+    "num_channels",
+    "events_processed",
+    "configuration_switches",
+    "reconfiguration_energy_j",
+    "interval_trace",
+    "channel_downtime_s",
+    "fault_transitions",
+    "recoveries",
+    "recovery_time_s",
+    "fault_horizon_s",
+)
+
+
+def _requests(count=200, seed=1, payload_bits=None):
+    kwargs = {} if payload_bits is None else {"payload_bits": payload_bits}
+    generator = UniformTrafficGenerator(
+        NUM_ONIS, mean_request_rate_hz=5e8, seed=seed, **kwargs
+    )
+    return list(generator.generate(count))
+
+
+def assert_identical(reference, batched) -> None:
+    """Every observable of the two results must be equal, byte for byte."""
+    for field in RESULT_FIELDS:
+        assert getattr(reference, field) == getattr(batched, field), field
+    assert reference.metrics().as_dict() == batched.metrics().as_dict()
+
+
+def run_both(requests, *, scenario=None, drift=None, policy=None, policy_obj=None, **sim_kwargs):
+    """Run the workload through both engines with freshly built models.
+
+    Fault models, drift processes and controllers are rebuilt per engine
+    from the same seeds, so neither run can leak state into the other.
+    ``policy`` selects a controller mode; ``policy_obj`` is a manager
+    selection policy passed straight through.
+    """
+    horizon = max(r.arrival_time_s for r in requests)
+    results = {}
+    for engine in ("reference", "batched"):
+        kwargs = dict(sim_kwargs)
+        if policy_obj is not None:
+            kwargs["policy"] = policy_obj
+        if scenario is not None:
+            failures = make_fault_model(scenario, NUM_ONIS, NW, seed=5, horizon_s=horizon)
+            if failures is not None:
+                kwargs["failures"] = failures
+                kwargs["degradation"] = DegradationLadder(
+                    margins=margin_levels(4.0), num_wavelengths=NW
+                )
+        if drift is not None:
+            kwargs["dynamics"] = make_drift_model(drift, NUM_ONIS, seed=17)
+        if policy is not None:
+            kwargs["controller"] = AdaptiveEccController(
+                margins=margin_levels(4.0), mode=policy
+            )
+            kwargs["telemetry_seed"] = 99
+        results[engine] = NetworkSimulator(seed=11, engine=engine, **kwargs).run(
+            iter(requests)
+        )
+    assert_identical(results["reference"], results["batched"])
+    return results["reference"]
+
+
+class TestStaticPathParity:
+    """The fast path: plain probabilistic runs, retries, rejects, traces."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_plain_run(self, seed):
+        run_both(_requests(count=300, seed=seed))
+
+    @pytest.mark.parametrize("payload_bits", [512, 4096, 65536])
+    def test_payload_sizes(self, payload_bits):
+        run_both(_requests(count=120, seed=4, payload_bits=payload_bits))
+
+    def test_backoff_and_timeout(self):
+        requests = _requests(count=200, seed=6)
+        horizon = max(r.arrival_time_s for r in requests)
+        run_both(
+            requests,
+            retry_backoff_s=horizon / 100,
+            transfer_timeout_s=horizon,
+        )
+
+    def test_interval_trace(self):
+        requests = _requests(count=200, seed=7)
+        horizon = max(r.arrival_time_s for r in requests)
+        result = run_both(requests, trace_interval_s=horizon / 16)
+        assert result.interval_trace  # the comparison actually saw a trace
+
+    def test_crc_free_single_shot(self):
+        run_both(_requests(count=150, seed=8), crc=None, max_retries=0)
+
+    def test_rejected_requests(self):
+        """An infeasible policy produces identical rejected records."""
+        result = run_both(
+            _requests(count=80, seed=9),
+            policy_obj=DeadlineConstrainedPolicy(max_communication_time=0.5),
+            crc=None,
+            max_retries=0,
+        )
+        assert all(record.rejected for record in result.records)
+
+    def test_bit_exact_mode(self):
+        run_both(
+            _requests(count=30, seed=10, payload_bits=2048),
+            mode="bit-exact",
+            crc=None,
+            max_retries=0,
+        )
+
+
+class TestFaultScenarioParity:
+    """All six fault scenarios, with ladder + backoff + timeout riding along."""
+
+    @pytest.mark.parametrize("scenario", FAULT_SCENARIOS)
+    def test_scenario(self, scenario):
+        requests = _requests(count=200, seed=1)
+        horizon = max(r.arrival_time_s for r in requests)
+        run_both(
+            requests,
+            scenario=scenario,
+            retry_backoff_s=horizon / 100,
+            transfer_timeout_s=horizon,
+        )
+
+
+class TestDriftAndPolicyParity:
+    """Every drift process under every controller policy (and none)."""
+
+    @pytest.mark.parametrize(
+        "drift,policy", list(product(DRIFT_PROFILES, POLICIES))
+    )
+    def test_drift_policy(self, drift, policy):
+        run_both(_requests(count=150, seed=2), drift=drift, policy=policy)
+
+
+class TestLoadParity:
+    """Load changes the retry/queueing mix; parity must not care."""
+
+    @pytest.mark.parametrize("count,seed", [(60, 1), (400, 2)])
+    def test_loads(self, count, seed):
+        run_both(_requests(count=count, seed=seed))
+
+
+class TestOrchestratedParity:
+    """Engine parity survives the sweep orchestrator at any worker count."""
+
+    OPTIONS = {
+        "patterns": ["uniform", "hotspot"],
+        "loads": [0.25, 0.7],
+        "policies": ["min-power"],
+        "num_requests": 120,
+        "payload_bits": 2048,
+        "seed": 5,
+        "rings": 2,
+    }
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_batched_jobs_match_reference_serial(self, jobs):
+        from repro.experiments.orchestrator import run_experiment
+        from repro.experiments.report import rows_to_csv
+
+        reference = run_experiment(
+            "network", options={**self.OPTIONS, "engine": "reference"}
+        )
+        batched = run_experiment(
+            "network", options={**self.OPTIONS, "engine": "batched"}, jobs=jobs
+        )
+        assert reference[0] == batched[0]
+        assert rows_to_csv(reference[1]) == rows_to_csv(batched[1])
+
+
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_PARITY_LONG"),
+    reason="set REPRO_PARITY_LONG=1 for the full parity cross-product",
+)
+class TestLongGridParity:
+    """The full cross-product; minutes, not seconds — opt-in via env var."""
+
+    @pytest.mark.parametrize(
+        "scenario,policy,seed",
+        list(product(FAULT_SCENARIOS, POLICIES, (1, 5))),
+    )
+    def test_faults_cross_policies(self, scenario, policy, seed):
+        requests = _requests(count=250, seed=seed)
+        horizon = max(r.arrival_time_s for r in requests)
+        run_both(
+            requests,
+            scenario=scenario,
+            policy=policy,
+            retry_backoff_s=horizon / 100,
+            transfer_timeout_s=horizon,
+            trace_interval_s=horizon / 8,
+        )
+
+    @pytest.mark.parametrize(
+        "drift,policy,count",
+        list(product(DRIFT_PROFILES, POLICIES, (100, 500))),
+    )
+    def test_drift_cross_policies(self, drift, policy, count):
+        run_both(_requests(count=count, seed=3), drift=drift, policy=policy)
