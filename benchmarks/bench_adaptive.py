@@ -15,7 +15,6 @@ Run either way::
 
 from __future__ import annotations
 
-import json
 import os
 import sys
 import time
@@ -25,7 +24,11 @@ import numpy as np
 _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+_HERE = os.path.dirname(os.path.abspath(__file__))
+if _HERE not in sys.path:
+    sys.path.insert(0, _HERE)
 
+import benchlib  # noqa: E402
 from repro.experiments.network import request_rate_for_load  # noqa: E402
 from repro.manager.policies import margin_levels  # noqa: E402
 from repro.manager.runtime import AdaptiveEccController  # noqa: E402
@@ -37,7 +40,7 @@ PAYLOAD_BITS = 65536
 LOAD = 0.5
 WORST_CASE_MULTIPLIER = 16.0
 ADAPTIVE_PACKET_GATE_PER_SEC = 50_000.0
-_JSON_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_adaptive.json")
+_JSON_PATH = os.path.join(_HERE, "BENCH_adaptive.json")
 
 
 def _requests(num_requests: int, seed: int):
@@ -148,11 +151,21 @@ def test_adaptive_run_actually_adapts():
     assert results["adaptive"]["transfers"] == 300
 
 
-def main() -> int:
+def main(argv: list[str] | None = None) -> int:
+    args = benchlib.parse_args(argv, description=__doc__)
     results = run_benchmark(include_reference=True)
-    with open(_JSON_PATH, "w", encoding="utf-8") as handle:
-        json.dump(results, handle, indent=2)
-        handle.write("\n")
+    benchlib.write_bench_json(_JSON_PATH, "adaptive", results)
+    if args.history:
+        benchlib.append_history(
+            args.history,
+            "adaptive",
+            {
+                "adaptive_packets_per_sec": results["adaptive"]["packets_per_sec"],
+                "adaptive_events_per_sec": results["adaptive"]["events_per_sec"],
+                "static_packets_per_sec": results["static"]["packets_per_sec"],
+                "adaptive_overhead": results["adaptive_overhead"],
+            },
+        )
     print(
         f"netsim adaptive: {results['adaptive']['packets_per_sec']:,.0f} packets/s "
         f"({results['adaptive']['switches']} switches) vs static "

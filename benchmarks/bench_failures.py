@@ -26,7 +26,6 @@ Run either way::
 
 from __future__ import annotations
 
-import json
 import os
 import sys
 import time
@@ -34,7 +33,11 @@ import time
 _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+_HERE = os.path.dirname(os.path.abspath(__file__))
+if _HERE not in sys.path:
+    sys.path.insert(0, _HERE)
 
+import benchlib  # noqa: E402
 from repro.config import DEFAULT_CONFIG  # noqa: E402
 from repro.experiments.network import request_rate_for_load  # noqa: E402
 from repro.manager.policies import DegradationLadder, margin_levels  # noqa: E402
@@ -48,7 +51,6 @@ PAYLOAD_BITS = 65536
 LOAD = 0.5
 PACKET_EVENT_GATE_PER_SEC = 100_000.0
 STORED_RATIO_FLOOR = 0.95
-_HERE = os.path.dirname(os.path.abspath(__file__))
 _JSON_PATH = os.path.join(_HERE, "BENCH_failures.json")
 _NETSIM_JSON_PATH = os.path.join(_HERE, "BENCH_netsim.json")
 
@@ -99,11 +101,10 @@ def _faulted_simulator(horizon_s: float, engine: str = "batched") -> NetworkSimu
 
 def stored_netsim_packets_per_sec() -> float | None:
     """Probabilistic-leg throughput recorded by the last bench_netsim run."""
+    stored = benchlib.read_bench_results(_NETSIM_JSON_PATH)
     try:
-        with open(_NETSIM_JSON_PATH, "r", encoding="utf-8") as handle:
-            stored = json.load(handle)
         return float(stored["probabilistic"]["packets_per_sec"])
-    except (OSError, KeyError, TypeError, ValueError):
+    except (KeyError, TypeError, ValueError):
         return None
 
 
@@ -188,11 +189,21 @@ def test_faulted_ladder_run_completes_and_recovers():
     assert metrics.transfers_completed > 0
 
 
-def main() -> int:
+def main(argv: list[str] | None = None) -> int:
+    args = benchlib.parse_args(argv, description=__doc__)
     results = run_benchmark(include_reference=True)
-    with open(_JSON_PATH, "w", encoding="utf-8") as handle:
-        json.dump(results, handle, indent=2)
-        handle.write("\n")
+    benchlib.write_bench_json(_JSON_PATH, "failures", results)
+    if args.history:
+        benchlib.append_history(
+            args.history,
+            "failures",
+            {
+                "fault_free_packets_per_sec": results["fault_free"]["packets_per_sec"],
+                "faulted_ladder_packets_per_sec": results["faulted_ladder"][
+                    "packets_per_sec"
+                ],
+            },
+        )
     free = results["fault_free"]
     faulted = results["faulted_ladder"]
     ratio = results["ratio_vs_stored_netsim"]

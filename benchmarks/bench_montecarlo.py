@@ -16,7 +16,6 @@ independent of the total) and both throughputs are compared at the
 
 from __future__ import annotations
 
-import json
 import os
 import sys
 import time
@@ -26,14 +25,18 @@ import numpy as np
 _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+_HERE = os.path.dirname(os.path.abspath(__file__))
+if _HERE not in sys.path:
+    sys.path.insert(0, _HERE)
 
+import benchlib  # noqa: E402
 from repro.coding.hamming import ShortenedHammingCode  # noqa: E402
 from repro.coding.montecarlo import estimate_ber_monte_carlo  # noqa: E402
 
 RAW_BER = 1e-3
 NUM_BLOCKS = 20000
 SCALAR_SAMPLE_BLOCKS = 2000
-_JSON_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_montecarlo.json")
+_JSON_PATH = os.path.join(_HERE, "BENCH_montecarlo.json")
 
 
 def scalar_monte_carlo(code, raw_ber: float, num_blocks: int, rng) -> tuple[int, int]:
@@ -92,11 +95,20 @@ def test_batch_is_at_least_ten_times_faster():
     assert results["speedup"] >= 10.0, results
 
 
-def main() -> int:
+def main(argv: list[str] | None = None) -> int:
+    args = benchlib.parse_args(argv, description=__doc__)
     results = run_benchmark()
-    with open(_JSON_PATH, "w", encoding="utf-8") as handle:
-        json.dump(results, handle, indent=2)
-        handle.write("\n")
+    benchlib.write_bench_json(_JSON_PATH, "montecarlo", results)
+    if args.history:
+        benchlib.append_history(
+            args.history,
+            "montecarlo",
+            {
+                "batch_blocks_per_sec": results["batch_blocks_per_sec"],
+                "scalar_blocks_per_sec": results["scalar_blocks_per_sec"],
+                "speedup": results["speedup"],
+            },
+        )
     print(
         f"{results['code']} @ raw BER {results['raw_ber']:g}: "
         f"scalar {results['scalar_blocks_per_sec']:,.0f} blocks/s, "

@@ -17,7 +17,6 @@ cores are available (the byte-identity gate always runs).  Run either way::
 
 from __future__ import annotations
 
-import json
 import os
 import sys
 import time
@@ -27,13 +26,17 @@ import pytest
 _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+_HERE = os.path.dirname(os.path.abspath(__file__))
+if _HERE not in sys.path:
+    sys.path.insert(0, _HERE)
 
+import benchlib  # noqa: E402
 from repro.experiments.orchestrator import run_experiment  # noqa: E402
 from repro.experiments.report import rows_to_csv  # noqa: E402
 
 JOBS = 4
 NUM_BER_POINTS = 256
-_JSON_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_orchestrator.json")
+_JSON_PATH = os.path.join(_HERE, "BENCH_orchestrator.json")
 
 
 def _dense_ber_grid(num_points: int = NUM_BER_POINTS) -> list[float]:
@@ -92,11 +95,20 @@ def test_parallel_is_at_least_twice_as_fast_on_multicore():
     assert results["speedup"] >= 2.0, results
 
 
-def main() -> int:
+def main(argv: list[str] | None = None) -> int:
+    args = benchlib.parse_args(argv, description=__doc__)
     results = run_benchmark()
-    with open(_JSON_PATH, "w", encoding="utf-8") as handle:
-        json.dump(results, handle, indent=2)
-        handle.write("\n")
+    benchlib.write_bench_json(_JSON_PATH, "orchestrator", results)
+    if args.history:
+        benchlib.append_history(
+            args.history,
+            "orchestrator",
+            {
+                "serial_seconds": results["serial_seconds"],
+                "parallel_seconds": results["parallel_seconds"],
+                "speedup": results["speedup"],
+            },
+        )
     print(
         f"figure5 x{results['num_ber_points']} BER points: "
         f"serial {results['serial_seconds']:.2f}s, "

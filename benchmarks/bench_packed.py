@@ -20,7 +20,6 @@ Run either way::
 
 from __future__ import annotations
 
-import json
 import os
 import sys
 import time
@@ -28,9 +27,13 @@ import time
 _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+_HERE = os.path.dirname(os.path.abspath(__file__))
+if _HERE not in sys.path:
+    sys.path.insert(0, _HERE)
 
 import numpy as np  # noqa: E402
 
+import benchlib  # noqa: E402
 from repro.coding.packed import pack_bits  # noqa: E402
 from repro.coding.registry import get_code  # noqa: E402
 from repro.experiments.network import request_rate_for_load  # noqa: E402
@@ -48,7 +51,7 @@ NETSIM_PAYLOAD_BITS = 8192
 NETSIM_LOAD = 0.5
 NETSIM_PACKET_GATE_PER_SEC = 150_000.0
 
-_JSON_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_packed.json")
+_JSON_PATH = os.path.join(_HERE, "BENCH_packed.json")
 
 
 def _timed(function, repeats: int) -> float:
@@ -149,11 +152,22 @@ def test_bit_exact_netsim_meets_packet_gate():
     assert best >= NETSIM_PACKET_GATE_PER_SEC, attempts
 
 
-def main() -> int:
+def main(argv: list[str] | None = None) -> int:
+    args = benchlib.parse_args(argv, description=__doc__)
     results = run_benchmark()
-    with open(_JSON_PATH, "w", encoding="utf-8") as handle:
-        json.dump(results, handle, indent=2)
-        handle.write("\n")
+    benchlib.write_bench_json(_JSON_PATH, "packed", results)
+    if args.history:
+        benchlib.append_history(
+            args.history,
+            "packed",
+            {
+                "packed_blocks_per_sec": results["decode"]["packed_blocks_per_sec"],
+                "unpacked_blocks_per_sec": results["decode"]["unpacked_blocks_per_sec"],
+                "bit_exact_packets_per_sec": results["bit_exact_netsim"][
+                    "packets_per_sec"
+                ],
+            },
+        )
     decode = results["decode"]
     netsim = results["bit_exact_netsim"]
     print(

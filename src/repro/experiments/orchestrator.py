@@ -54,8 +54,10 @@ quarantined (renamed to ``*.corrupt``) and its surviving records resumed.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
+import logging
 import multiprocessing
 import os
 import tempfile
@@ -67,6 +69,10 @@ from typing import Any, Callable, Dict, List, Sequence
 
 from ..config import DEFAULT_CONFIG, PaperConfig
 from ..exceptions import ConfigurationError, ShardExecutionError
+from ..obs import manifest as obs_manifest
+from ..obs import metrics as obs_metrics
+from ..obs import tracing as obs_tracing
+from ..obs.logutil import shard_logging_context
 from . import (
     adaptive,
     availability,
@@ -84,12 +90,41 @@ from . import (
 __all__ = [
     "GridFunctions",
     "ExperimentGrid",
+    "SweepProgress",
     "available_experiments",
     "describe_grid",
     "register_experiment",
     "run_experiment",
     "checkpoint_path",
 ]
+
+logger = logging.getLogger("repro.experiments.orchestrator")
+
+
+@dataclass(frozen=True)
+class SweepProgress:
+    """One progress heartbeat, emitted after every shard that lands.
+
+    ``events_processed`` sums the ``netsim.events.total`` counters of the
+    shard snapshots collected so far (zero when metric collection is off or
+    the experiment runs no simulator), so a consumer can derive an events/s
+    rate; ``elapsed_s`` is monotonic time since the sweep started.
+    """
+
+    experiment: str
+    shards_total: int
+    shards_done: int
+    shards_resumed: int
+    events_processed: int
+    elapsed_s: float
+
+    @property
+    def eta_s(self) -> float | None:
+        """Naive remaining-time estimate from the mean shard rate so far."""
+        fresh = self.shards_done - self.shards_resumed
+        if fresh <= 0 or self.elapsed_s <= 0.0:
+            return None
+        return (self.shards_total - self.shards_done) * (self.elapsed_s / fresh)
 
 
 @dataclass(frozen=True)
@@ -200,6 +235,9 @@ def run_experiment(
     resume: bool = False,
     shard_timeout_s: float | None = None,
     max_shard_retries: int = 2,
+    collect_metrics: bool | None = None,
+    manifest_dir: str | None = None,
+    progress: "Callable[[SweepProgress], None] | None" = None,
 ) -> tuple[str, list[dict]]:
     """Run one experiment's full grid and return ``(text report, CSV rows)``.
 
@@ -229,6 +267,17 @@ def run_experiment(
         Pooled runs only: how many times one shard may be re-attempted
         after its worker died or timed out before the sweep aborts with a
         :class:`~repro.exceptions.ShardExecutionError`.
+    collect_metrics:
+        Collect a per-shard metrics snapshot (an isolated registry scoped
+        around each shard, so collection never perturbs shard results).
+        Defaults to ``True`` exactly when a ``manifest_dir`` is given.
+    manifest_dir:
+        When given, a run manifest (provenance record + exactly merged
+        shard metrics; see :mod:`repro.obs.manifest`) is written there
+        after the sweep completes.
+    progress:
+        Callback invoked with a :class:`SweepProgress` after every shard
+        that lands (and once for the resumed batch).
     """
     if jobs < 1:
         raise ConfigurationError("jobs must be at least 1")
@@ -240,19 +289,49 @@ def run_experiment(
         raise ConfigurationError("shard retry budget cannot be negative")
     functions = _grid_functions(experiment)
     grid = describe_grid(experiment, config, options)
+    collect = collect_metrics if collect_metrics is not None else manifest_dir is not None
+    wall_start = time.perf_counter()
+    cpu_start = _cpu_seconds()
 
     completed: Dict[int, Any] = {}
     if resume and checkpoint_dir is not None:
         completed = _load_checkpoint(checkpoint_dir, grid)
+        if completed:
+            logger.info(
+                "%s: resumed %d/%d shards from checkpoint",
+                experiment,
+                len(completed),
+                len(grid.shard_params),
+            )
+    resumed = sorted(completed)
     pending = [index for index in range(len(grid.shard_params)) if index not in completed]
+    #: Shard index -> metrics snapshot (``None`` for resumed shards, whose
+    #: execution was never observed).
+    shard_metrics: Dict[int, dict | None] = {index: None for index in resumed}
+    stats = {
+        "shards_total": len(grid.shard_params),
+        "shards_completed": 0,
+        "shards_resumed": len(resumed),
+        "retries": 0,
+        "timeouts": 0,
+        "pool_rebuilds": 0,
+        "checkpoint_writes": 0,
+        "checkpoint_bytes": 0,
+    }
+    _notify_progress(progress, grid, stats, shard_metrics, wall_start)
 
     if jobs == 1 or len(pending) <= 1:
         for index in pending:
-            completed[index] = _jsonable(
-                functions.run_shard(grid.shard_params[index], config)
+            payload, snapshot = _execute_shard(
+                experiment, grid.shard_params[index], config, index=index, collect=collect
             )
+            completed[index] = payload
+            shard_metrics[index] = snapshot
+            stats["shards_completed"] += 1
+            logger.debug("%s: shard %d landed", experiment, index)
             if checkpoint_dir is not None:
-                _write_checkpoint(checkpoint_dir, grid, completed)
+                _write_checkpoint(checkpoint_dir, grid, completed, stats)
+            _notify_progress(progress, grid, stats, shard_metrics, wall_start)
     else:
         _run_shards_pooled(
             grid,
@@ -263,10 +342,37 @@ def run_experiment(
             checkpoint_dir,
             shard_timeout_s=shard_timeout_s,
             max_shard_retries=max_shard_retries,
+            collect=collect,
+            shard_metrics=shard_metrics,
+            stats=stats,
+            progress=progress,
+            wall_start=wall_start,
         )
 
     payloads = [completed[index] for index in range(len(grid.shard_params))]
-    return functions.merge(payloads, config, options)
+    merged = functions.merge(payloads, config, options)
+    parent_registry = obs_metrics.ACTIVE
+    if parent_registry is not None:
+        _publish_orchestrator_stats(parent_registry, stats)
+    if manifest_dir is not None:
+        _write_run_manifest(
+            manifest_dir,
+            grid,
+            shard_metrics,
+            resumed=resumed,
+            stats=stats,
+            invocation={
+                "jobs": jobs,
+                "resume": bool(resume),
+                "checkpointed": checkpoint_dir is not None,
+                "collect_metrics": bool(collect),
+            },
+            timing={
+                "wall_s": round(time.perf_counter() - wall_start, 6),
+                "cpu_s": round(_cpu_seconds() - cpu_start, 6),
+            },
+        )
+    return merged
 
 
 # ------------------------------------------------------------------ internals
@@ -279,13 +385,113 @@ def _grid_functions(experiment: str) -> GridFunctions:
         ) from None
 
 
-def _execute_shard(experiment: str, params: dict, config: PaperConfig) -> Any:
+def _execute_shard(
+    experiment: str,
+    params: dict,
+    config: PaperConfig,
+    index: int = 0,
+    collect: bool = False,
+) -> tuple[Any, dict | None]:
     """Worker entry point: run one shard and reduce it to JSON types.
 
     Module-level so it pickles by reference into worker processes, which
-    re-import this module and dispatch through the same registry.
+    re-import this module and dispatch through the same registry.  Returns
+    ``(payload, metrics snapshot or None)`` — the snapshot is a side
+    channel that never enters the payload, so checkpoints stay
+    byte-identical whether collection is on or off.  Each shard observes an
+    isolated registry (scoped via :func:`repro.obs.metrics.collecting`), so
+    serial and pooled runs produce the same per-shard snapshots.
     """
-    return _jsonable(_GRIDS[experiment].run_shard(params, config))
+    tracer = obs_tracing.ACTIVE
+    span = (
+        tracer.span("orchestrator.shard", experiment=experiment, index=index)
+        if tracer is not None
+        else contextlib.nullcontext()
+    )
+    with shard_logging_context(index), span:
+        if not collect:
+            return _jsonable(_GRIDS[experiment].run_shard(params, config)), None
+        with obs_metrics.collecting() as registry:
+            payload = _jsonable(_GRIDS[experiment].run_shard(params, config))
+        return payload, registry.snapshot()
+
+
+def _cpu_seconds() -> float:
+    """Process CPU time including reaped children (pooled shard workers)."""
+    times = os.times()
+    return times.user + times.system + times.children_user + times.children_system
+
+
+def _notify_progress(
+    progress: "Callable[[SweepProgress], None] | None",
+    grid: ExperimentGrid,
+    stats: Dict[str, int],
+    shard_metrics: Dict[int, dict | None],
+    wall_start: float,
+) -> None:
+    if progress is None:
+        return
+    events = 0
+    for snapshot in shard_metrics.values():
+        if snapshot is not None:
+            events += snapshot.get("counters", {}).get("netsim.events.total", 0)
+    progress(
+        SweepProgress(
+            experiment=grid.experiment,
+            shards_total=len(grid.shard_params),
+            shards_done=stats["shards_completed"] + stats["shards_resumed"],
+            shards_resumed=stats["shards_resumed"],
+            events_processed=events,
+            elapsed_s=time.perf_counter() - wall_start,
+        )
+    )
+
+
+def _publish_orchestrator_stats(registry, stats: Dict[str, int]) -> None:
+    """Fold one sweep's lifecycle accounting into an ambient registry."""
+    registry.inc("orchestrator.sweeps")
+    for name in (
+        "shards_completed",
+        "shards_resumed",
+        "retries",
+        "timeouts",
+        "pool_rebuilds",
+        "checkpoint_writes",
+        "checkpoint_bytes",
+    ):
+        registry.inc(f"orchestrator.{name}", stats[name])
+
+
+def _write_run_manifest(
+    manifest_dir: str,
+    grid: ExperimentGrid,
+    shard_metrics: Dict[int, dict | None],
+    *,
+    resumed: Sequence[int],
+    stats: Dict[str, int],
+    invocation: dict,
+    timing: dict,
+) -> str:
+    manifest = obs_manifest.build_manifest(
+        experiment=grid.experiment,
+        fingerprint=grid.fingerprint,
+        options=grid.options,
+        shard_params=list(grid.shard_params),
+        shard_metrics=shard_metrics,
+        resumed=resumed,
+        invocation=invocation,
+        orchestrator=dict(stats),
+        timing=timing,
+    )
+    path = obs_manifest.manifest_path(manifest_dir, grid.experiment)
+    tracer = obs_tracing.ACTIVE
+    if tracer is None:
+        obs_manifest.write_manifest(path, manifest)
+    else:
+        with tracer.span("orchestrator.manifest_write", experiment=grid.experiment):
+            obs_manifest.write_manifest(path, manifest)
+    logger.info("%s: run manifest written to %s", grid.experiment, path)
+    return path
 
 
 def _pool_context():
@@ -334,6 +540,11 @@ def _run_shards_pooled(
     *,
     shard_timeout_s: float | None = None,
     max_shard_retries: int = 2,
+    collect: bool = False,
+    shard_metrics: Dict[int, "dict | None"] | None = None,
+    stats: Dict[str, int] | None = None,
+    progress: "Callable[[SweepProgress], None] | None" = None,
+    wall_start: float = 0.0,
 ) -> None:
     """Fan the pending shards out over a process pool, checkpointing as they land.
 
@@ -346,6 +557,17 @@ def _run_shards_pooled(
     """
     queue = deque(sorted(pending))
     attempts: Dict[int, int] = {}
+    if stats is None:
+        stats = {
+            "shards_total": len(grid.shard_params),
+            "shards_completed": 0,
+            "shards_resumed": 0,
+            "retries": 0,
+            "timeouts": 0,
+            "pool_rebuilds": 0,
+            "checkpoint_writes": 0,
+            "checkpoint_bytes": 0,
+        }
     workers = min(jobs, len(queue))
     context = _pool_context()
     pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
@@ -355,7 +577,12 @@ def _run_shards_pooled(
             while queue and len(in_flight) < workers:
                 index = queue.popleft()
                 future = pool.submit(
-                    _execute_shard, grid.experiment, grid.shard_params[index], config
+                    _execute_shard,
+                    grid.experiment,
+                    grid.shard_params[index],
+                    config,
+                    index,
+                    collect,
                 )
                 in_flight[future] = (index, time.monotonic())
             poll_s = (
@@ -368,7 +595,12 @@ def _run_shards_pooled(
                 index, _started = in_flight.pop(future)
                 error = future.exception()
                 if error is None:
-                    completed[index] = future.result()
+                    payload, snapshot = future.result()
+                    completed[index] = payload
+                    if shard_metrics is not None:
+                        shard_metrics[index] = snapshot
+                    stats["shards_completed"] += 1
+                    logger.debug("%s: shard %d landed", grid.experiment, index)
                     landed = True
                 elif isinstance(error, BrokenExecutor):
                     # The worker died out from under the pool (OOM kill,
@@ -383,20 +615,30 @@ def _run_shards_pooled(
                         grid.shard_params[index],
                         f"shard raised {type(error).__name__}: {error}",
                     ) from error
-            if landed and checkpoint_dir is not None:
-                _write_checkpoint(checkpoint_dir, grid, completed)
+            if landed:
+                if checkpoint_dir is not None:
+                    _write_checkpoint(checkpoint_dir, grid, completed, stats)
+                if shard_metrics is not None:
+                    _notify_progress(progress, grid, stats, shard_metrics, wall_start)
             if broken:
                 # The pool is unusable once broken: requeue everything still
                 # in flight (those futures are doomed too) and rebuild.
                 broken.extend(index for index, _started in in_flight.values())
                 in_flight.clear()
                 pool.shutdown(wait=False, cancel_futures=True)
+                logger.warning(
+                    "%s: worker process died; retrying shards %s on a fresh pool",
+                    grid.experiment,
+                    sorted(broken),
+                )
                 for index in sorted(broken, reverse=True):
                     _charge_attempt(
                         attempts, index, grid, max_shard_retries, "worker process died"
                     )
+                    stats["retries"] += 1
                     queue.appendleft(index)
                 pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+                stats["pool_rebuilds"] += 1
                 continue
             if shard_timeout_s is not None and in_flight:
                 now = time.monotonic()
@@ -409,6 +651,12 @@ def _run_shards_pooled(
                     # A future cannot be cancelled once running; the only way
                     # to reclaim a hung worker is to kill the pool.  Innocent
                     # in-flight shards are requeued without a charge.
+                    logger.warning(
+                        "%s: shards %s exceeded the %gs timeout; rebuilding the pool",
+                        grid.experiment,
+                        sorted(index for _future, index in overdue),
+                        shard_timeout_s,
+                    )
                     _terminate_pool_workers(pool)
                     pool.shutdown(wait=True, cancel_futures=True)
                     for future, index in overdue:
@@ -425,8 +673,11 @@ def _run_shards_pooled(
                             max_shard_retries,
                             f"shard exceeded the {shard_timeout_s:g}s timeout",
                         )
+                        stats["retries"] += 1
+                        stats["timeouts"] += 1
                         queue.appendleft(index)
                     pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+                    stats["pool_rebuilds"] += 1
     finally:
         pool.shutdown(wait=False, cancel_futures=True)
 
@@ -465,8 +716,10 @@ def _quarantine_checkpoint(path: str) -> str:
     quarantined = path + ".corrupt"
     try:
         os.replace(path, quarantined)
+        logger.warning("quarantined damaged checkpoint %s -> %s", path, quarantined)
     except OSError:
-        pass  # racing writer or permissions: the reload already ignores it
+        # Racing writer or permissions: the reload already ignores it.
+        logger.warning("could not quarantine damaged checkpoint %s", path)
     return quarantined
 
 
@@ -552,12 +805,19 @@ def _load_checkpoint_records(
     return completed
 
 
-def _write_checkpoint(checkpoint_dir: str, grid: ExperimentGrid, completed: Dict[int, Any]) -> None:
+def _write_checkpoint(
+    checkpoint_dir: str,
+    grid: ExperimentGrid,
+    completed: Dict[int, Any],
+    stats: Dict[str, int] | None = None,
+) -> None:
     """Atomically persist the completed shards (write-to-temp, then rename).
 
     JSON-lines layout: a header record identifying the grid, then one
     checksummed record per completed shard, so partial damage is detectable
-    and repairable per record on reload.
+    and repairable per record on reload.  ``stats`` (when given) accounts
+    the write and its byte volume — telemetry only, never file content, so
+    checkpoints stay byte-identical with observability on or off.
     """
     os.makedirs(checkpoint_dir, exist_ok=True)
     path = checkpoint_path(checkpoint_dir, grid.experiment)
@@ -582,14 +842,32 @@ def _write_checkpoint(checkpoint_dir: str, grid: ExperimentGrid, completed: Dict
                 }
             )
         )
+    body = "\n".join(lines) + "\n"
+    tracer = obs_tracing.ACTIVE
+    span = (
+        tracer.span("orchestrator.checkpoint_write", experiment=grid.experiment, bytes=len(body))
+        if tracer is not None
+        else contextlib.nullcontext()
+    )
     descriptor, temp_path = tempfile.mkstemp(
         dir=checkpoint_dir, prefix=f".{grid.experiment}.", suffix=".tmp"
     )
     try:
-        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-            handle.write("\n".join(lines) + "\n")
-        os.replace(temp_path, path)
+        with span:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                handle.write(body)
+            os.replace(temp_path, path)
     except BaseException:
         if os.path.exists(temp_path):
             os.unlink(temp_path)
         raise
+    if stats is not None:
+        stats["checkpoint_writes"] += 1
+        stats["checkpoint_bytes"] += len(body)
+    logger.debug(
+        "%s: checkpoint (%d shards, %d bytes) -> %s",
+        grid.experiment,
+        len(completed),
+        len(body),
+        path,
+    )

@@ -24,6 +24,8 @@ from typing import Sequence
 from ..channel.ber import required_raw_ber, required_snr
 from ..config import DEFAULT_CONFIG, PaperConfig
 from ..exceptions import ConfigurationError, InfeasibleDesignError, LaserPowerExceededError
+from ..obs import metrics as obs_metrics
+from ..obs import tracing as obs_tracing
 from ..photonics.laser import VCSELModel
 from ..photonics.photodetector import Photodetector
 from .power_budget import LinkPowerBudget
@@ -124,9 +126,19 @@ class OpticalLinkDesigner:
         """
         key = (getattr(code, "name", type(code).__name__), code.n, code.k, float(target_ber))
         cached = self._point_cache.get(key)
+        registry = obs_metrics.ACTIVE
         if cached is not None:
+            if registry is not None:
+                registry.inc("link.design_point.cache_hits")
             return cached
-        point = self._solve_design_point(code, target_ber)
+        if registry is not None:
+            registry.inc("link.design_point.cache_misses")
+        tracer = obs_tracing.ACTIVE
+        if tracer is None:
+            point = self._solve_design_point(code, target_ber)
+        else:
+            with tracer.span("link.design_point", code=key[0], target_ber=key[3]):
+                point = self._solve_design_point(code, target_ber)
         self._point_cache[key] = point
         return point
 

@@ -20,6 +20,7 @@ from ..config import DEFAULT_CONFIG, PaperConfig
 from ..exceptions import ConfigurationError
 from ..interfaces.synthesis import SynthesisReport, synthesize_interfaces
 from ..link.design import OpticalLinkDesigner
+from ..obs import metrics as obs_metrics
 from ..power.channel import ChannelPowerBreakdown, channel_power_breakdown
 from .policies import ConfigurationDecision, MinimumPowerPolicy, SelectionPolicy
 
@@ -159,7 +160,10 @@ class OpticalLinkManager:
         enough raw-BER headroom to ride out that much channel drift.
         """
         key = (float(target_ber), float(margin_multiplier))
+        registry = obs_metrics.ACTIVE
         if key not in self._candidate_cache:
+            if registry is not None:
+                registry.inc("manager.candidates.cache_misses")
             self._candidate_cache[key] = [
                 channel_power_breakdown(
                     code,
@@ -170,6 +174,8 @@ class OpticalLinkManager:
                 )
                 for code in self._codes
             ]
+        elif registry is not None:
+            registry.inc("manager.candidates.cache_hits")
         return self._candidate_cache[key]
 
     def configure(
@@ -184,6 +190,9 @@ class OpticalLinkManager:
         default of 1 reproduces the historical unmargined behaviour exactly.
         """
         self._validate_endpoints(request)
+        registry = obs_metrics.ACTIVE
+        if registry is not None:
+            registry.inc("manager.configure.calls")
         candidates = self.candidates_for(request.target_ber, margin_multiplier)
         policy = request.policy if request.policy is not None else self._default_policy
         if request.max_communication_time is not None:
@@ -229,6 +238,10 @@ class OpticalLinkManager:
         the larger of the two is provisioned.
         """
         action = ladder.action_for(health)
+        registry = obs_metrics.ACTIVE
+        if registry is not None:
+            registry.inc("manager.configure_degraded.calls")
+            registry.inc(f"manager.degradation.rung.{action.rung}")
         if not action.serve:
             return None, action
         margin = max(float(base_margin_multiplier), action.margin_multiplier)

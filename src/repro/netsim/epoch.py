@@ -64,8 +64,11 @@ import heapq
 from itertools import chain
 from typing import Iterable
 
+from time import perf_counter
+
 from ..exceptions import ConfigurationError, InfeasibleDesignError, SimulationError
 from ..manager.manager import CommunicationRequest
+from ..obs import tracing as obs_tracing
 from ..traffic.generators import TrafficRequest
 from .engine import NetTransferRecord, NetworkResult, _RunState, _TransferState
 from .events import EventKind, EpochEventCore
@@ -154,9 +157,13 @@ def run_batched(sim, requests: Iterable[TrafficRequest]) -> NetworkResult:
     #: queued attempt, in schedule order.
     pending: list[tuple] = []
 
+    tracer = obs_tracing.ACTIVE
+
     def flush() -> None:
         """Resolve every queued attempt's outcome in one epoch-wide draw."""
-        uniforms = rng_random(len(pending))
+        begin = perf_counter() if tracer is not None else 0.0
+        attempts = len(pending)
+        uniforms = rng_random(attempts)
         for uniform, (state, sampler, packets, fail_p, raw) in zip(
             uniforms.tolist(), pending
         ):
@@ -170,6 +177,14 @@ def run_batched(sim, requests: Iterable[TrafficRequest]) -> NetworkResult:
                 # path skips the TransmissionOutcome allocation entirely.
                 state.pending_outcome = None
         pending.clear()
+        run.epoch_flushes += 1
+        if tracer is not None:
+            tracer.emit(
+                "netsim.epoch_flush",
+                perf_counter() - begin,
+                {"attempts": attempts},
+                start=begin,
+            )
 
     def schedule_attempt(state, now_s: float, not_before_s: float | None = None) -> None:
         """Mirror of the reference ``_schedule_attempt`` with queued sampling."""
@@ -523,9 +538,13 @@ def _run_static_fast(sim, run, core: EpochEventCore) -> NetworkResult:
         channels[destination] = entry
         return entry
 
+    tracer = obs_tracing.ACTIVE
+
     def flush() -> None:
         """Resolve every queued gate in one epoch-wide primary draw."""
-        uniforms = rng_random(len(pending))
+        begin = perf_counter() if tracer is not None else 0.0
+        attempts = len(pending)
+        uniforms = rng_random(attempts)
         for uniform, item in zip(uniforms.tolist(), pending):
             if uniform < item[1]:
                 sampler = item[2]
@@ -572,6 +591,14 @@ def _run_static_fast(sim, run, core: EpochEventCore) -> NetworkResult:
                     active_pairs[pair] = active_pairs.get(pair, 0) + 1
                     flagged[seq] = state
         pending.clear()
+        run.epoch_flushes += 1
+        if tracer is not None:
+            tracer.emit(
+                "netsim.epoch_flush",
+                perf_counter() - begin,
+                {"attempts": attempts},
+                start=begin,
+            )
 
     sequence = core._sequence
     events = 0

@@ -1,0 +1,150 @@
+"""CLI surfacing tests: --metrics/--progress/--trace/--log-level, obs-report."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.experiments.runner import main
+from repro.obs.logutil import setup_logging, shard_logging_context
+from repro.obs.report import render_run_report
+
+#: Fast single-table experiment for CLI round-trips.
+EXPERIMENT = "calibration"
+#: Fast experiment whose shards exercise instrumented code paths.
+METRIC_EXPERIMENT = "figure5"
+
+
+@pytest.fixture
+def manifest_dir(tmp_path):
+    return str(tmp_path / "obs")
+
+
+class TestRunnerFlags:
+    def test_metrics_flag_prints_merged_counters(self, capsys, manifest_dir):
+        assert main([METRIC_EXPERIMENT, "--metrics", "--manifest-dir", manifest_dir]) == 0
+        out = capsys.readouterr().out
+        assert f"[metrics] {METRIC_EXPERIMENT}" in out
+        assert "link.design_point.cache_misses" in out
+
+    def test_progress_flag_streams_heartbeat_to_stderr(self, capsys, manifest_dir):
+        assert main([EXPERIMENT, "--progress", "--manifest-dir", manifest_dir]) == 0
+        captured = capsys.readouterr()
+        assert f"[{EXPERIMENT}]" in captured.err
+        assert "shards" in captured.err
+        assert f"[{EXPERIMENT}]" not in captured.out  # reports stay clean
+
+    def test_trace_flag_appends_span_lines(self, tmp_path, capsys, manifest_dir):
+        trace = str(tmp_path / "trace.jsonl")
+        assert main([EXPERIMENT, "--trace", trace, "--manifest-dir", manifest_dir]) == 0
+        with open(trace, encoding="utf-8") as handle:
+            names = {json.loads(line)["name"] for line in handle}
+        assert "orchestrator.shard" in names
+
+    def test_log_level_info_reports_csv_write(self, tmp_path, capsys, manifest_dir):
+        csv_dir = str(tmp_path / "csv")
+        assert (
+            main(
+                [
+                    EXPERIMENT,
+                    "--csv",
+                    csv_dir,
+                    "--log-level",
+                    "info",
+                    "--manifest-dir",
+                    manifest_dir,
+                ]
+            )
+            == 0
+        )
+        err = capsys.readouterr().err
+        assert "INFO repro.experiments.runner" in err
+        assert f"{EXPERIMENT}.csv" in err
+
+
+class TestObsReportSubcommand:
+    def test_renders_manifest_written_by_a_run(self, capsys, manifest_dir):
+        assert main([METRIC_EXPERIMENT, "--manifest-dir", manifest_dir]) == 0
+        capsys.readouterr()
+        assert main(["obs-report", METRIC_EXPERIMENT, "--manifest-dir", manifest_dir]) == 0
+        out = capsys.readouterr().out
+        assert f"Run report — experiment {METRIC_EXPERIMENT!r}" in out
+        assert "Merged metrics (exact across shards)" in out
+
+    def test_without_names_renders_every_manifest(self, capsys, manifest_dir):
+        assert main([EXPERIMENT, "--manifest-dir", manifest_dir]) == 0
+        capsys.readouterr()
+        assert main(["obs-report", "--manifest-dir", manifest_dir]) == 0
+        assert "Run report" in capsys.readouterr().out
+
+    def test_missing_manifest_directory_fails(self, tmp_path, capsys):
+        missing = str(tmp_path / "nowhere")
+        assert main(["obs-report", "--manifest-dir", missing]) == 1
+        assert "no run manifests" in capsys.readouterr().err
+
+    def test_render_mentions_resumed_shards(self):
+        text = render_run_report(
+            {
+                "experiment": "demo",
+                "fingerprint": "abc",
+                "num_shards": 2,
+                "resumed_shards": [0],
+                "metrics": {"counters": {"n": 1}, "gauges": {}, "histograms": {}},
+                "shards": [
+                    {"index": 0, "params": {}, "metrics": None},
+                    {
+                        "index": 1,
+                        "params": {},
+                        "metrics": {
+                            "counters": {"netsim.events.total": 7},
+                            "gauges": {},
+                            "histograms": {},
+                        },
+                    },
+                ],
+            }
+        )
+        assert "(1 resumed from checkpoint)" in text
+        assert "(resumed from checkpoint)" in text
+        assert "7 events" in text
+
+
+class TestLogging:
+    def test_setup_logging_is_idempotent(self):
+        logger = setup_logging("info")
+        before = [h for h in logger.handlers if getattr(h, "_repro_obs_handler", False)]
+        logger = setup_logging("debug")
+        after = [h for h in logger.handlers if getattr(h, "_repro_obs_handler", False)]
+        assert len(before) == len(after) == 1
+        assert logger.level == logging.DEBUG
+        setup_logging("warning")
+
+    def test_shard_context_tags_records(self):
+        stream = io.StringIO()
+        handler = logging.StreamHandler(stream)
+        logger = setup_logging("info")
+        # Route through the real handler's formatter by borrowing it.
+        real = next(
+            h for h in logger.handlers if getattr(h, "_repro_obs_handler", False)
+        )
+        handler.setFormatter(real.formatter)
+        for log_filter in real.filters:
+            handler.addFilter(log_filter)
+        logger.addHandler(handler)
+        try:
+            with shard_logging_context(4):
+                logging.getLogger("repro.experiments.orchestrator").info("inside")
+            logging.getLogger("repro.experiments.orchestrator").info("outside")
+        finally:
+            logger.removeHandler(handler)
+            setup_logging("warning")
+        lines = stream.getvalue().splitlines()
+        assert lines[0] == "INFO repro.experiments.orchestrator [shard 4]: inside"
+        assert lines[1] == "INFO repro.experiments.orchestrator: outside"
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            setup_logging("chatty")
