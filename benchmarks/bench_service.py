@@ -1,0 +1,257 @@
+"""Service benchmark: sustained query throughput and mid-bench fault survival.
+
+Two legs, both against a real in-process
+:class:`~repro.service.server.SimulationService` on an ephemeral port:
+
+* ``cached_design_queries`` — sustained ``GET /design`` rate over a
+  keep-alive connection once the operating point is cached.  This is the
+  service's hot path (the solve itself costs milliseconds but is memoized
+  after the first request).  **Gated** at an absolute floor of 100 req/s —
+  three orders of magnitude of headroom on a dev container, so the gate
+  only catches structural regressions (a lost cache tier, an accidental
+  solve per request, a per-request fork), never runner noise.
+* ``job_survives_worker_kill`` — a sweep job is submitted, its forked
+  worker is SIGKILLed mid-flight while design queries keep hammering the
+  API, and the job must still complete with a result byte-identical to an
+  uninterrupted serial run (checkpoint salvage + position-keyed shard
+  seeds).  The artefact records the recovery time and the query throughput
+  sustained *during* the recovery.
+
+Run either way::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+    pytest benchmarks/bench_service.py -q
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import multiprocessing
+import os
+import signal
+import sys
+import tempfile
+import time
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+_HERE = os.path.dirname(os.path.abspath(__file__))
+if _HERE not in sys.path:
+    sys.path.insert(0, _HERE)
+
+import pytest  # noqa: E402
+
+import benchlib  # noqa: E402
+from repro.experiments.orchestrator import (  # noqa: E402
+    GridFunctions,
+    register_experiment,
+    run_experiment,
+)
+from repro.service import ServiceConfig, SimulationService  # noqa: E402
+from repro.service.models import JobState  # noqa: E402
+
+NUM_QUERY_REQUESTS = 2000
+QUERY_RATE_GATE_PER_SEC = 100.0
+KILL_LEG_SHARDS = 6
+_JSON_PATH = os.path.join(_HERE, "BENCH_service.json")
+
+_HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+EXPERIMENT = "benchsvc"
+
+
+def _shards(config, options):
+    options = options or {}
+    return [
+        {"index": index, "sleep_s": float(options.get("sleep_s", 0.0))}
+        for index in range(int(options.get("num_shards", KILL_LEG_SHARDS)))
+    ]
+
+
+def _run_shard(params, config):
+    if params["sleep_s"]:
+        time.sleep(params["sleep_s"])
+    return {"index": params["index"], "value": params["index"] * 13 + 7}
+
+
+def _merge(payloads, config, options):
+    rows = [dict(payload) for payload in payloads]
+    return "sum: " + str(sum(row["value"] for row in rows)), rows
+
+
+register_experiment(EXPERIMENT, GridFunctions(_shards, _run_shard, _merge), replace=True)
+
+
+class _Client:
+    """Keep-alive JSON client (one TCP connection, like a real consumer)."""
+
+    def __init__(self, host: str, port: int):
+        self.connection = http.client.HTTPConnection(host, port, timeout=30)
+
+    def request(self, method: str, path: str, body=None):
+        payload = json.dumps(body).encode("utf-8") if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        self.connection.request(method, path, body=payload, headers=headers)
+        response = self.connection.getresponse()
+        return response.status, json.loads(response.read().decode("utf-8"))
+
+    def close(self) -> None:
+        self.connection.close()
+
+
+def _time_queries(client: _Client, path: str, count: int) -> dict:
+    start = time.perf_counter()
+    for _ in range(count):
+        status, _payload = client.request("GET", path)
+        assert status == 200, status
+    seconds = time.perf_counter() - start
+    return {
+        "requests": count,
+        "seconds": seconds,
+        "req_per_sec": count / seconds,
+    }
+
+
+def _query_leg(service: SimulationService, num_requests: int) -> dict:
+    client = _Client(service.host, service.port)
+    try:
+        design = "/design?code=secded(72,64)&target_ber=1e-12"
+        status, first = client.request("GET", design)
+        assert status == 200 and first["cached"] is False
+        status, second = client.request("GET", design)
+        assert second["cached"] is True
+        results = _time_queries(client, design, num_requests)
+        results["healthz"] = _time_queries(client, "/healthz", num_requests // 4)
+        return results
+    finally:
+        client.close()
+
+
+def _kill_leg(service: SimulationService, expected_text: str) -> dict:
+    """Submit a slow job, SIGKILL its worker, keep querying, await recovery."""
+    client = _Client(service.host, service.port)
+    try:
+        status, submitted = client.request(
+            "POST",
+            "/jobs",
+            {"experiment": EXPERIMENT, "options": {"sleep_s": 0.15}},
+        )
+        assert status == 202, submitted
+        job_id = submitted["job_id"]
+
+        deadline = time.monotonic() + 30.0
+        pid = None
+        while pid is None and time.monotonic() < deadline:
+            pid = service.supervisor.active_worker_pid()
+            time.sleep(0.005)
+        assert pid is not None, "job worker never started"
+        os.kill(pid, signal.SIGKILL)
+        killed_at = time.perf_counter()
+
+        # the API stays responsive while the supervisor recovers the job
+        queries_during_recovery = 0
+        design = "/design?code=secded(72,64)&target_ber=1e-12"
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            status, job = client.request("GET", f"/jobs/{job_id}")
+            assert status == 200
+            # "failed" is transient (the supervisor immediately re-queues or
+            # kills); only done/dead are terminal
+            if job["state"] in (JobState.DONE, JobState.DEAD):
+                break
+            status, _payload = client.request("GET", design)
+            assert status == 200
+            queries_during_recovery += 1
+        recovery_s = time.perf_counter() - killed_at
+        assert job["state"] == JobState.DONE, job
+
+        status, result = client.request("GET", f"/jobs/{job_id}/result")
+        assert status == 200
+        assert result["result"]["text"] == expected_text
+        return {
+            "worker_killed": True,
+            "attempts_charged": job["attempts"],
+            "recovery_s": recovery_s,
+            "queries_during_recovery": queries_during_recovery,
+            "result_byte_identical": result["result"]["text"] == expected_text,
+        }
+    finally:
+        client.close()
+
+
+def run_benchmark(
+    num_requests: int = NUM_QUERY_REQUESTS, *, include_kill_leg: bool = True
+) -> dict:
+    results: dict = {
+        "num_requests": num_requests,
+        "query_rate_gate_per_sec": QUERY_RATE_GATE_PER_SEC,
+    }
+    expected_text, _rows = run_experiment(EXPERIMENT, options={"sleep_s": 0.15})
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as data_dir:
+        service = SimulationService(
+            data_dir=data_dir,
+            supervise=_HAVE_FORK,
+            service_config=ServiceConfig(backoff_base_s=0.05, backoff_cap_s=0.2),
+        )
+        service.start()
+        try:
+            results["cached_design_queries"] = _query_leg(service, num_requests)
+            results["gate_met"] = (
+                results["cached_design_queries"]["req_per_sec"]
+                >= QUERY_RATE_GATE_PER_SEC
+            )
+            if include_kill_leg and _HAVE_FORK:
+                results["job_survives_worker_kill"] = _kill_leg(
+                    service, expected_text
+                )
+        finally:
+            service.stop(drain_timeout_s=10.0)
+    return results
+
+
+def test_cached_design_queries_meet_rate_floor():
+    """Acceptance gate: >= 100 cached-query req/s through the full HTTP stack."""
+    results = run_benchmark(num_requests=400, include_kill_leg=False)
+    rate = results["cached_design_queries"]["req_per_sec"]
+    assert rate >= QUERY_RATE_GATE_PER_SEC, results
+
+
+@pytest.mark.skipif(not _HAVE_FORK, reason="service workers require fork")
+def test_job_survives_mid_bench_worker_kill():
+    """Chaos gate: a SIGKILLed worker costs one retry, never the result."""
+    results = run_benchmark(num_requests=200, include_kill_leg=True)
+    leg = results["job_survives_worker_kill"]
+    assert leg["result_byte_identical"]
+    assert leg["attempts_charged"] >= 1
+    # the API kept answering while the job recovered
+    assert leg["queries_during_recovery"] > 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = benchlib.parse_args(argv, description=__doc__)
+    results = run_benchmark()
+    benchlib.write_bench_json(_JSON_PATH, "service", results)
+    if args.history:
+        headline = {
+            "cached_design_req_per_sec": results["cached_design_queries"][
+                "req_per_sec"
+            ],
+            "healthz_req_per_sec": results["cached_design_queries"]["healthz"][
+                "req_per_sec"
+            ],
+        }
+        kill = results.get("job_survives_worker_kill")
+        if kill is not None:
+            headline["kill_recovery_s"] = kill["recovery_s"]
+        benchlib.append_history(args.history, "service", headline)
+    print(json.dumps(results, indent=2))
+    if not results["gate_met"]:
+        print("FAIL: cached design query rate below the floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

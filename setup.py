@@ -20,6 +20,9 @@ setup(
     python_requires=">=3.10",
     install_requires=["numpy>=1.24", "scipy>=1.10"],
     entry_points={
-        "console_scripts": ["repro-experiments=repro.experiments.runner:main"],
+        "console_scripts": [
+            "repro-experiments=repro.experiments.runner:main",
+            "repro-serve=repro.service.server:main",
+        ],
     },
 )

@@ -20,6 +20,10 @@ __all__ = [
     "ArbitrationError",
     "SimulationError",
     "ShardExecutionError",
+    "SweepCancelled",
+    "ServiceError",
+    "QueueFullError",
+    "JobNotFoundError",
 ]
 
 
@@ -101,3 +105,50 @@ class ShardExecutionError(ReproError):
             f"shard {index} of experiment {experiment!r} failed ({reason}); "
             f"shard params: {self.params!r}"
         )
+
+
+class SweepCancelled(ReproError):
+    """A sweep stopped early because its cancellation hook fired.
+
+    Raised by the orchestrator *after* the final checkpoint write, so every
+    shard that completed before the cancellation is recoverable with
+    ``resume=True``.  Carries the progress made so callers (the CLI's
+    signal handlers, the service supervisor's drain path) can print an
+    actionable resume hint.
+    """
+
+    def __init__(self, experiment: str, shards_done: int, shards_total: int):
+        self.experiment = str(experiment)
+        self.shards_done = int(shards_done)
+        self.shards_total = int(shards_total)
+        super().__init__(
+            f"sweep {experiment!r} cancelled after {shards_done}/{shards_total} shards"
+        )
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by the simulation service layer."""
+
+
+class QueueFullError(ServiceError):
+    """The durable job queue is at capacity; the submission was rejected.
+
+    ``retry_after_s`` is the server's backpressure hint (the HTTP layer
+    turns it into a ``Retry-After`` header on the 429 response).
+    """
+
+    def __init__(self, depth: int, max_depth: int, retry_after_s: float):
+        self.depth = int(depth)
+        self.max_depth = int(max_depth)
+        self.retry_after_s = float(retry_after_s)
+        super().__init__(
+            f"job queue is full ({depth}/{max_depth}); retry in {retry_after_s:g}s"
+        )
+
+
+class JobNotFoundError(ServiceError):
+    """No job with the requested id exists in the queue."""
+
+    def __init__(self, job_id: str):
+        self.job_id = str(job_id)
+        super().__init__(f"no job {job_id!r}")

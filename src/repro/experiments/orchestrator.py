@@ -68,7 +68,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Sequence
 
 from ..config import DEFAULT_CONFIG, PaperConfig
-from ..exceptions import ConfigurationError, ShardExecutionError
+from ..exceptions import ConfigurationError, ShardExecutionError, SweepCancelled
 from ..obs import manifest as obs_manifest
 from ..obs import metrics as obs_metrics
 from ..obs import tracing as obs_tracing
@@ -108,7 +108,10 @@ class SweepProgress:
     ``events_processed`` sums the ``netsim.events.total`` counters of the
     shard snapshots collected so far (zero when metric collection is off or
     the experiment runs no simulator), so a consumer can derive an events/s
-    rate; ``elapsed_s`` is monotonic time since the sweep started.
+    rate; ``elapsed_s`` is monotonic time since the sweep started;
+    ``retries`` counts the failed attempts (worker deaths, timeouts)
+    charged so far, which the ETA must account for — their wall-clock cost
+    sits in ``elapsed_s`` without producing a shard.
     """
 
     experiment: str
@@ -117,14 +120,28 @@ class SweepProgress:
     shards_resumed: int
     events_processed: int
     elapsed_s: float
+    retries: int = 0
 
     @property
     def eta_s(self) -> float | None:
-        """Naive remaining-time estimate from the mean shard rate so far."""
+        """Remaining-time estimate from the mean *attempt* rate so far.
+
+        ``None`` means "no basis for an estimate yet": nothing has executed
+        in this process (everything done so far was resumed from a
+        checkpoint) or no time has elapsed.  A finished sweep reports
+        ``0.0`` even when every shard was resumed.  Failed attempts count
+        in the denominator — they consumed elapsed time like a completed
+        shard did — so a sweep that retried heavily projects the per-attempt
+        cost instead of inflating the per-success cost (the pre-fix skew).
+        """
+        remaining = self.shards_total - self.shards_done
+        if remaining <= 0:
+            return 0.0
         fresh = self.shards_done - self.shards_resumed
         if fresh <= 0 or self.elapsed_s <= 0.0:
             return None
-        return (self.shards_total - self.shards_done) * (self.elapsed_s / fresh)
+        attempts = fresh + max(0, self.retries)
+        return remaining * (self.elapsed_s / attempts)
 
 
 @dataclass(frozen=True)
@@ -238,6 +255,7 @@ def run_experiment(
     collect_metrics: bool | None = None,
     manifest_dir: str | None = None,
     progress: "Callable[[SweepProgress], None] | None" = None,
+    cancel: "Callable[[], bool] | None" = None,
 ) -> tuple[str, list[dict]]:
     """Run one experiment's full grid and return ``(text report, CSV rows)``.
 
@@ -278,6 +296,13 @@ def run_experiment(
     progress:
         Callback invoked with a :class:`SweepProgress` after every shard
         that lands (and once for the resumed batch).
+    cancel:
+        Cooperative cancellation hook, polled between shards (serial) or
+        between pool waits (pooled).  When it returns true the sweep stops
+        cleanly: in-flight work is abandoned, the checkpoint holds every
+        shard that landed, and :class:`~repro.exceptions.SweepCancelled`
+        is raised — rerunning with ``resume=True`` picks up exactly where
+        the cancellation struck.
     """
     if jobs < 1:
         raise ConfigurationError("jobs must be at least 1")
@@ -322,6 +347,12 @@ def run_experiment(
 
     if jobs == 1 or len(pending) <= 1:
         for index in pending:
+            if cancel is not None and cancel():
+                raise SweepCancelled(
+                    experiment,
+                    stats["shards_completed"] + stats["shards_resumed"],
+                    len(grid.shard_params),
+                )
             payload, snapshot = _execute_shard(
                 experiment, grid.shard_params[index], config, index=index, collect=collect
             )
@@ -347,6 +378,7 @@ def run_experiment(
             stats=stats,
             progress=progress,
             wall_start=wall_start,
+            cancel=cancel,
         )
 
     payloads = [completed[index] for index in range(len(grid.shard_params))]
@@ -443,6 +475,7 @@ def _notify_progress(
             shards_resumed=stats["shards_resumed"],
             events_processed=events,
             elapsed_s=time.perf_counter() - wall_start,
+            retries=stats.get("retries", 0),
         )
     )
 
@@ -545,6 +578,7 @@ def _run_shards_pooled(
     stats: Dict[str, int] | None = None,
     progress: "Callable[[SweepProgress], None] | None" = None,
     wall_start: float = 0.0,
+    cancel: "Callable[[], bool] | None" = None,
 ) -> None:
     """Fan the pending shards out over a process pool, checkpointing as they land.
 
@@ -574,6 +608,16 @@ def _run_shards_pooled(
     in_flight: Dict[Any, tuple[int, float]] = {}
     try:
         while queue or in_flight:
+            if cancel is not None and cancel():
+                # Abandon in-flight work without waiting for it: the last
+                # checkpoint already holds every landed shard, and hung
+                # workers must not be able to stall the drain.
+                _terminate_pool_workers(pool)
+                raise SweepCancelled(
+                    grid.experiment,
+                    stats["shards_completed"] + stats["shards_resumed"],
+                    len(grid.shard_params),
+                )
             while queue and len(in_flight) < workers:
                 index = queue.popleft()
                 future = pool.submit(
@@ -588,6 +632,11 @@ def _run_shards_pooled(
             poll_s = (
                 min(0.1, shard_timeout_s / 4.0) if shard_timeout_s is not None else None
             )
+            if cancel is not None:
+                # Keep the cancellation hook responsive even with no shard
+                # timeout configured (wait() would otherwise block until a
+                # shard lands, which can be minutes).
+                poll_s = min(poll_s, 0.1) if poll_s is not None else 0.1
             done, _ = wait(set(in_flight), timeout=poll_s, return_when=FIRST_COMPLETED)
             landed = False
             broken: List[int] = []

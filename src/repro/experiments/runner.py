@@ -38,9 +38,11 @@ import functools
 import glob
 import logging
 import os
+import signal
 import sys
-from typing import Callable, Dict
+from typing import Callable, Mapping
 
+from ..exceptions import SweepCancelled
 from ..obs import manifest as obs_manifest
 from ..obs import tracing as obs_tracing
 from ..obs.logutil import setup_logging
@@ -53,9 +55,29 @@ __all__ = ["main", "EXPERIMENTS"]
 logger = logging.getLogger("repro.experiments.runner")
 
 
-EXPERIMENTS: Dict[str, Callable[[], tuple[str, list[dict]]]] = {
-    name: functools.partial(run_experiment, name) for name in available_experiments()
-}
+class _ExperimentMapping(Mapping):
+    """Live read-only view of the orchestrator's experiment registry.
+
+    A snapshot dict taken at import time would go stale the moment
+    :func:`~repro.experiments.orchestrator.register_experiment` adds a
+    grid (test harnesses and out-of-tree experiments do), and *when* this
+    module is first imported relative to those registrations is not under
+    our control.
+    """
+
+    def __getitem__(self, name: str) -> Callable[..., tuple[str, list[dict]]]:
+        if name not in available_experiments():
+            raise KeyError(name)
+        return functools.partial(run_experiment, name)
+
+    def __iter__(self):
+        return iter(available_experiments())
+
+    def __len__(self) -> int:
+        return len(available_experiments())
+
+
+EXPERIMENTS: Mapping = _ExperimentMapping()
 """Mapping from experiment name to a runner producing ``(text, csv rows)``.
 
 Kept for programmatic use (and API compatibility with the pre-orchestrator
@@ -240,27 +262,61 @@ def main(argv: list[str] | None = None) -> int:
     if manifest_dir is None:
         manifest_dir = checkpoint_dir if checkpoint_dir is not None else DEFAULT_MANIFEST_DIR
 
-    names = args.experiments if args.experiments else sorted(EXPERIMENTS)
-    unknown = [name for name in names if name not in EXPERIMENTS]
+    available = available_experiments()
+    names = args.experiments if args.experiments else list(available)
+    unknown = [name for name in names if name not in available]
     if unknown:
         parser.error(
-            f"unknown experiment(s) {unknown}; available: {', '.join(sorted(EXPERIMENTS))}"
+            f"unknown experiment(s) {unknown}; available: {', '.join(available)}"
         )
     setup_logging(args.log_level)
     if args.trace is not None:
         obs_tracing.enable_tracing(args.trace)
+
+    # Graceful interruption: the first SIGTERM/SIGINT flips a flag the
+    # orchestrator polls between shards, so the sweep stops at a shard
+    # boundary *after* finalizing its checkpoint instead of dying mid-write.
+    interrupted: list[int] = []
+
+    def _request_stop(signum, frame) -> None:
+        interrupted.append(signum)
+
+    previous_handlers = {
+        signal.SIGTERM: signal.signal(signal.SIGTERM, _request_stop),
+        signal.SIGINT: signal.signal(signal.SIGINT, _request_stop),
+    }
     try:
         for name in names:
-            text, rows = run_experiment(
-                name,
-                jobs=args.jobs,
-                checkpoint_dir=checkpoint_dir,
-                resume=args.resume,
-                shard_timeout_s=args.shard_timeout,
-                max_shard_retries=args.shard_retries,
-                manifest_dir=manifest_dir,
-                progress=_print_progress if args.progress else None,
-            )
+            try:
+                text, rows = run_experiment(
+                    name,
+                    jobs=args.jobs,
+                    checkpoint_dir=checkpoint_dir,
+                    resume=args.resume,
+                    shard_timeout_s=args.shard_timeout,
+                    max_shard_retries=args.shard_retries,
+                    manifest_dir=manifest_dir,
+                    progress=_print_progress if args.progress else None,
+                    cancel=lambda: bool(interrupted),
+                )
+            except SweepCancelled as stopped:
+                signum = interrupted[0] if interrupted else signal.SIGINT
+                if checkpoint_dir is not None:
+                    hint = (
+                        f"resume with: repro-experiments {name} --resume "
+                        f"--checkpoint-dir {checkpoint_dir}"
+                    )
+                else:
+                    hint = (
+                        "no --checkpoint-dir was given, so completed shards "
+                        "were not persisted; a rerun starts fresh"
+                    )
+                print(
+                    f"interrupted by signal {signum}: {stopped}; {hint}",
+                    file=sys.stderr,
+                    flush=True,
+                )
+                return 130
             print(section(f"Experiment {name}", text))
             if args.metrics:
                 manifest = obs_manifest.load_manifest(
@@ -274,6 +330,8 @@ def main(argv: list[str] | None = None) -> int:
                     handle.write(rows_to_csv(rows))
                 logger.info("wrote %s", path)
     finally:
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
         if args.trace is not None:
             obs_tracing.disable_tracing()
     return 0

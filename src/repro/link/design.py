@@ -73,11 +73,21 @@ class OpticalLinkDesigner:
     budget:
         Optical power budget; defaults to the worst-case MWSR budget built
         from ``config``.
+    persistent_cache:
+        Optional durable tier behind the in-memory design-point cache: any
+        object with ``load(key) -> LinkDesignPoint | None`` and
+        ``store(key, point)`` where ``key`` is the memoization tuple
+        ``(code name, n, k, target_ber)``.  Consulted only on in-memory
+        misses and populated after each solve, so a process shared across
+        requests (the simulation service) answers repeat queries without
+        re-running the crosstalk/brentq chain even across restarts.  See
+        :class:`repro.service.store.PersistentDesignCache`.
     """
 
     config: PaperConfig = field(default_factory=lambda: DEFAULT_CONFIG)
     laser: VCSELModel | None = None
     budget: LinkPowerBudget | None = None
+    persistent_cache: object | None = None
 
     def __post_init__(self) -> None:
         if self.laser is None:
@@ -117,6 +127,17 @@ class OpticalLinkDesigner:
         required_received = self._detector.required_signal_power(snr)
         return required_received / effective
 
+    def cached_point(self, code, target_ber: float) -> "LinkDesignPoint | None":
+        """The already-solved point for ``(code, target_ber)``, or ``None``.
+
+        Probes the in-memory tier only — never solves and never touches the
+        persistent tier, so it is safe on a latency budget (the service's
+        overload ladder uses it to decide whether a query is a cache hit it
+        can still serve while shedding).
+        """
+        key = (getattr(code, "name", type(code).__name__), code.n, code.k, float(target_ber))
+        return self._point_cache.get(key)
+
     def design_point(self, code, target_ber: float) -> LinkDesignPoint:
         """Solve the full operating point for one code and target BER (memoized).
 
@@ -131,6 +152,13 @@ class OpticalLinkDesigner:
             if registry is not None:
                 registry.inc("link.design_point.cache_hits")
             return cached
+        if self.persistent_cache is not None:
+            persisted = self.persistent_cache.load(key)
+            if persisted is not None:
+                if registry is not None:
+                    registry.inc("link.design_point.persistent_hits")
+                self._point_cache[key] = persisted
+                return persisted
         if registry is not None:
             registry.inc("link.design_point.cache_misses")
         tracer = obs_tracing.ACTIVE
@@ -140,6 +168,8 @@ class OpticalLinkDesigner:
             with tracer.span("link.design_point", code=key[0], target_ber=key[3]):
                 point = self._solve_design_point(code, target_ber)
         self._point_cache[key] = point
+        if self.persistent_cache is not None:
+            self.persistent_cache.store(key, point)
         return point
 
     def _solve_design_point(self, code, target_ber: float) -> LinkDesignPoint:

@@ -32,8 +32,10 @@ from .metrics import merge_snapshots
 
 __all__ = [
     "MANIFEST_SCHEMA_VERSION",
+    "build_job_manifest",
     "build_manifest",
     "environment_info",
+    "job_manifest_path",
     "load_manifest",
     "manifest_path",
     "write_manifest",
@@ -45,6 +47,39 @@ MANIFEST_SCHEMA_VERSION = 1
 def manifest_path(directory: str, experiment: str) -> str:
     """Location of one experiment's run manifest inside a directory."""
     return os.path.join(directory, f"{experiment}.manifest.json")
+
+
+def job_manifest_path(directory: str, job_id: str) -> str:
+    """Location of one service job's lifecycle manifest inside a directory."""
+    return os.path.join(directory, f"job-{job_id}.manifest.json")
+
+
+def build_job_manifest(
+    *,
+    job: dict,
+    attempts: Sequence[dict],
+    result_path: str | None,
+    timing: dict | None = None,
+) -> dict:
+    """Assemble one service job's lifecycle manifest.
+
+    Complements the per-run sweep manifest the orchestrator writes inside
+    the job's working directory: the job manifest records what the
+    *supervisor* saw — every attempt with its outcome (``done``, ``killed``,
+    ``timeout``, ``error``, ``cancelled``), the retry/backoff history and
+    where the verified result landed — so a job that needed three attempts
+    leaves an auditable trail even though its final result is
+    byte-identical to a first-try run.
+    """
+    return {
+        "schema_version": MANIFEST_SCHEMA_VERSION,
+        "kind": "job-manifest",
+        "job": dict(job),
+        "attempts": [dict(attempt) for attempt in attempts],
+        "result_path": result_path,
+        "environment": environment_info(),
+        "timing": timing or {},
+    }
 
 
 def environment_info() -> dict:

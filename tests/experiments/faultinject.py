@@ -63,6 +63,7 @@ def sweep_shards(config, options):
                 else 0.0
             ),
             "raise_on": index in options.get("raise_on", []),
+            "sleep_s": float(options.get("sleep_s", 0.0)),
         }
         for index in range(int(options.get("num_shards", 4)))
     ]
@@ -77,6 +78,10 @@ def run_sweep_shard(params, config):
         os.kill(os.getpid(), signal.SIGKILL)
     if params["hang_once_s"] and attempt == 1:
         time.sleep(params["hang_once_s"])
+    if params["sleep_s"]:
+        # Uniform slowness (not a one-shot hang): stretches the sweep so
+        # service tests can catch a job mid-flight or outlast a job timeout.
+        time.sleep(params["sleep_s"])
     return {"index": index, "value": index * index + 1}
 
 

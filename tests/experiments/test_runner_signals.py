@@ -1,0 +1,129 @@
+"""Regression tests: ``repro-experiments`` exits gracefully on SIGTERM/SIGINT.
+
+A real subprocess runs the CLI on a deliberately slow registered
+experiment; the test signals it mid-sweep and asserts the contract of the
+graceful path: the final checkpoint is written, the exit code is 130 and
+stderr carries a one-line resume hint.  A follow-up ``--resume`` run picks
+the sweep up from exactly the shards that landed.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+#: Child program: registers a slow 6-shard experiment (each shard touches a
+#: marker file, then sleeps) and hands control to the CLI's main().
+CHILD = """
+import os, sys, time
+from repro.experiments.orchestrator import GridFunctions, register_experiment
+from repro.experiments.runner import main
+
+WORK = sys.argv[1]
+
+def shards(config, options):
+    return [{"index": index} for index in range(6)]
+
+def run_shard(params, config):
+    with open(os.path.join(WORK, f"marker-{params['index']}"), "a") as handle:
+        handle.write("x")
+    time.sleep(float(os.environ.get("SHARD_SLEEP_S", "0.4")))
+    return {"index": params["index"], "value": params["index"] * 7}
+
+def merge(payloads, config, options):
+    rows = [dict(p) for p in payloads]
+    return "total: " + str(sum(r["value"] for r in rows)), rows
+
+register_experiment("slowsig", GridFunctions(shards, run_shard, merge), replace=True)
+sys.exit(main(sys.argv[2:]))
+"""
+
+
+def _spawn(work_dir: str, *cli_args: str, sleep_s: str = "0.4") -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env["SHARD_SLEEP_S"] = sleep_s
+    return subprocess.Popen(
+        [sys.executable, "-c", CHILD, work_dir, "slowsig", *cli_args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+
+
+def _wait_for_marker(work_dir: str, deadline_s: float = 30.0) -> None:
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        if any(name.startswith("marker-") for name in os.listdir(work_dir)):
+            return
+        time.sleep(0.02)
+    raise AssertionError("the sweep never started a shard")
+
+
+@pytest.mark.parametrize("signum", [signal.SIGTERM, signal.SIGINT])
+def test_signal_mid_sweep_checkpoints_and_hints(tmp_path, signum):
+    work = tmp_path / "work"
+    work.mkdir()
+    ckpt = tmp_path / "ckpt"
+    process = _spawn(str(work), "--checkpoint-dir", str(ckpt))
+    try:
+        _wait_for_marker(str(work))
+        process.send_signal(signum)
+        stdout, stderr = process.communicate(timeout=60)
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.communicate()
+
+    assert process.returncode == 130, stderr
+    assert "interrupted by signal" in stderr
+    assert f"resume with: repro-experiments slowsig --resume --checkpoint-dir {ckpt}" in stderr
+    # the checkpoint of the landed shards was finalized before exiting
+    checkpoint = ckpt / "slowsig.json"
+    assert checkpoint.exists() and checkpoint.stat().st_size > 0
+
+    # --resume finishes the sweep; already-landed shards are not re-executed
+    markers_before = {
+        name: open(work / name).read() for name in os.listdir(work)
+    }
+    resumed = _spawn(
+        str(work), "--resume", "--checkpoint-dir", str(ckpt), sleep_s="0.0"
+    )
+    stdout, stderr = resumed.communicate(timeout=120)
+    assert resumed.returncode == 0, stderr
+    assert "total: " + str(sum(index * 7 for index in range(6))) in stdout
+    for name, content in markers_before.items():
+        assert open(work / name).read() == content, f"{name} was re-executed"
+
+
+def test_signal_without_checkpoint_dir_explains_the_loss(tmp_path):
+    work = tmp_path / "work"
+    work.mkdir()
+    process = _spawn(str(work))
+    try:
+        _wait_for_marker(str(work))
+        process.send_signal(signal.SIGTERM)
+        stdout, stderr = process.communicate(timeout=60)
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.communicate()
+    assert process.returncode == 130
+    assert "no --checkpoint-dir was given" in stderr
+
+
+def test_unsignalled_run_exits_zero(tmp_path):
+    work = tmp_path / "work"
+    work.mkdir()
+    process = _spawn(str(work), sleep_s="0.0")
+    stdout, stderr = process.communicate(timeout=120)
+    assert process.returncode == 0, stderr
+    assert "Experiment slowsig" in stdout

@@ -1,0 +1,246 @@
+"""Transport-free tests of the HTTP route table and the load-shedding ladder.
+
+:func:`repro.service.routes.dispatch` maps ``(method, path, query, body)``
+to ``(status, payload, headers)`` without a socket, so every admission
+decision — the 429/503 ladder, Retry-After hints, method/path errors — is
+pinned here without starting a server.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coding.registry import get_code
+from repro.config import DEFAULT_CONFIG
+from repro.exceptions import ConfigurationError
+from repro.link.design import OpticalLinkDesigner
+from repro.obs.metrics import MetricsRegistry
+from repro.service.models import Job, JobState
+from repro.service.queue import DurableJobQueue
+from repro.service.routes import LoadShedder, ServiceContext, dispatch
+from repro.service.store import ResultsStore
+
+
+class _AliveSupervisor:
+    """Just enough supervisor for readiness checks."""
+
+    def is_alive(self) -> bool:
+        return True
+
+
+@pytest.fixture
+def context(tmp_path):
+    registry = MetricsRegistry()
+    queue = DurableJobQueue(str(tmp_path / "queue"), max_depth=4)
+    shedder = LoadShedder(queue, max_inflight=8, registry=registry)
+    return ServiceContext(
+        queue=queue,
+        store=ResultsStore(str(tmp_path / "results")),
+        supervisor=_AliveSupervisor(),
+        designer=OpticalLinkDesigner(),
+        config=DEFAULT_CONFIG,
+        registry=registry,
+        shedder=shedder,
+    )
+
+
+def _get(context, path, query=None):
+    return dispatch(context, "GET", path, query or {}, None)
+
+
+def _post(context, path, body=None):
+    return dispatch(context, "POST", path, {}, body)
+
+
+def _fill_queue(context, count):
+    for index in range(count):
+        context.queue.submit(
+            Job(job_id=f"{index:016x}", experiment="table1", options=None)
+        )
+
+
+class TestRouting:
+    def test_unknown_path_is_404(self, context):
+        status, payload, _ = _get(context, "/nope")
+        assert status == 404 and "error" in payload
+
+    def test_wrong_method_is_405(self, context):
+        status, _, _ = _post(context, "/healthz")
+        assert status == 405
+        status, _, _ = _get(context, "/jobs/" + "a" * 16 + "/cancel")
+        assert status == 405
+
+    def test_both_methods_of_jobs_routes(self, context):
+        status, payload, _ = _get(context, "/jobs")
+        assert status == 200 and payload == {"jobs": []}
+        status, payload, _ = _post(context, "/jobs", {"experiment": "table1"})
+        assert status == 202
+
+    def test_job_id_pattern_is_strict(self, context):
+        status, _, _ = _get(context, "/jobs/NOT-A-FINGERPRINT")
+        assert status == 404
+
+    def test_missing_job_is_404(self, context):
+        status, _, _ = _get(context, "/jobs/" + "a" * 16)
+        assert status == 404
+
+
+class TestValidation:
+    def test_submit_needs_object_body(self, context):
+        assert _post(context, "/jobs", None)[0] == 400
+        assert _post(context, "/jobs", [1, 2])[0] == 400
+
+    def test_submit_unknown_experiment_lists_available(self, context):
+        status, payload, _ = _post(context, "/jobs", {"experiment": "nope"})
+        assert status == 400
+
+    def test_submit_missing_experiment_lists_available(self, context):
+        status, payload, _ = _post(context, "/jobs", {})
+        assert status == 400 and "available" in payload
+
+    def test_submit_bounds_worker_count(self, context):
+        body = {"experiment": "table1", "jobs": 99}
+        assert _post(context, "/jobs", body)[0] == 400
+
+    def test_design_query_validation(self, context):
+        assert _get(context, "/design")[0] == 400
+        assert _get(context, "/design", {"code": "h(7,4)", "target_ber": "x"})[0] == 400
+        status, payload, _ = _get(
+            context, "/design", {"code": "nope", "target_ber": "1e-12"}
+        )
+        assert status == 400 and "available" in payload
+
+    def test_design_query_solves_then_hits_cache(self, context):
+        query = {"code": "h(7,4)", "target_ber": "1e-12"}
+        status, payload, _ = _get(context, "/design", query)
+        assert status == 200 and payload["cached"] is False
+        assert payload["point"]["feasible"] is True
+        status, payload, _ = _get(context, "/design", query)
+        assert status == 200 and payload["cached"] is True
+
+    def test_result_of_unfinished_job_is_409(self, context):
+        status, payload, _ = _post(context, "/jobs", {"experiment": "table1"})
+        job_id = payload["job_id"]
+        status, payload, _ = _get(context, f"/jobs/{job_id}/result")
+        assert status == 409 and payload["state"] == JobState.QUEUED
+
+
+class TestLoadSheddingLadder:
+    def test_normal_below_the_shed_fraction(self, context):
+        _fill_queue(context, 2)  # 2/4 < 0.75
+        assert context.shedder.level() == LoadShedder.NORMAL
+
+    def test_new_submissions_shed_first(self, context):
+        _fill_queue(context, 3)  # 3/4 >= 0.75 -> SHED_SWEEPS
+        assert context.shedder.level() == LoadShedder.SHED_SWEEPS
+        status, payload, headers = _post(context, "/jobs", {"experiment": "table1"})
+        assert status == 429
+        assert int(headers["Retry-After"]) >= 1
+        # joining an existing job is free even while shedding
+        status, payload, _ = _get(context, "/jobs/" + "0" * 16)
+        assert status == 200
+
+    def test_full_queue_is_cached_only(self, context):
+        _fill_queue(context, 4)
+        assert context.shedder.level() == LoadShedder.CACHED_ONLY
+        # design cache miss refused with 503 ...
+        status, payload, _ = _get(
+            context, "/design", {"code": "h(7,4)", "target_ber": "1e-12"}
+        )
+        assert status == 503 and payload["shed_level"] == "cached-only"
+        # ... but a cached point is still served
+        context.designer.design_point(get_code("h(7,4)"), 1e-12)
+        status, payload, _ = _get(
+            context, "/design", {"code": "h(7,4)", "target_ber": "1e-12"}
+        )
+        assert status == 200 and payload["cached"] is True
+
+    def test_inflight_pressure_escalates(self, context):
+        for _ in range(context.shedder.max_inflight):
+            context.shedder.enter()
+        assert context.shedder.level() == LoadShedder.CACHED_ONLY
+        for _ in range(3 * context.shedder.max_inflight):
+            context.shedder.enter()
+        assert context.shedder.level() == LoadShedder.HEALTH_ONLY
+
+    def test_health_only_answers_healthz_alone(self, context):
+        context.shedder.draining = True
+        assert context.shedder.level() == LoadShedder.HEALTH_ONLY
+        assert _get(context, "/healthz")[0] == 200
+        for path in ("/readyz", "/metricsz", "/jobs", "/design"):
+            status, payload, _ = _get(context, path)
+            assert status == 503, path
+        status, payload, _ = _get(context, "/readyz")
+        assert status == 503
+
+    def test_readyz_reflects_drain(self, context):
+        status, payload, _ = _get(context, "/readyz")
+        assert status == 200 and payload["ready"] is True
+        context.shedder.draining = True
+        status, payload, _ = _get(context, "/readyz")
+        assert status == 503
+
+    def test_shed_metrics_are_counted(self, context):
+        _fill_queue(context, 4)
+        _post(context, "/jobs", {"experiment": "figure5"})
+        counters = context.registry.snapshot()["counters"]
+        assert counters.get("service.shed.request", 0) + counters.get(
+            "service.shed.submit", 0
+        ) >= 1
+
+    def test_queue_full_submission_is_429(self, tmp_path):
+        # a wide-open shedder so admission is decided by the queue itself
+        queue = DurableJobQueue(str(tmp_path / "queue"), max_depth=1)
+        shedder = LoadShedder(queue, max_inflight=8, shed_depth_fraction=1.0)
+        context = ServiceContext(
+            queue=queue,
+            store=ResultsStore(str(tmp_path / "results")),
+            supervisor=_AliveSupervisor(),
+            designer=OpticalLinkDesigner(),
+            config=DEFAULT_CONFIG,
+            shedder=shedder,
+        )
+        queue.submit(Job(job_id="0" * 16, experiment="table1", options=None))
+        # depth == max_depth -> CACHED_ONLY cuts the submission path already;
+        # drop to a state where only QueueFullError can reject
+        shedder.draining = False
+        status, payload, headers = _post(context, "/jobs", {"experiment": "table1"})
+        assert status in (429, 503)
+
+    def test_shedder_configuration_validated(self, tmp_path):
+        queue = DurableJobQueue(str(tmp_path))
+        with pytest.raises(ConfigurationError):
+            LoadShedder(queue, max_inflight=0)
+        with pytest.raises(ConfigurationError):
+            LoadShedder(queue, shed_depth_fraction=0.0)
+
+
+class TestSelfHealing:
+    def test_done_job_with_lost_result_is_resubmitted(self, context):
+        status, payload, _ = _post(context, "/jobs", {"experiment": "table1"})
+        job_id = payload["job_id"]
+        context.queue.transition(job_id, JobState.RUNNING)
+        context.queue.transition(job_id, JobState.DONE)
+        # the result was never stored (or was quarantined): asking for it
+        # re-queues the work instead of serving nothing forever
+        status, payload, headers = _get(context, f"/jobs/{job_id}/result")
+        assert status == 503 and headers["Retry-After"] == "5"
+        assert context.queue.get(job_id).state == JobState.QUEUED
+
+    def test_result_served_when_intact(self, context):
+        status, payload, _ = _post(context, "/jobs", {"experiment": "table1"})
+        job_id = payload["job_id"]
+        context.queue.transition(job_id, JobState.RUNNING)
+        context.queue.transition(job_id, JobState.DONE)
+        context.store.put(job_id, {"text": "report", "rows": []})
+        status, payload, _ = _get(context, f"/jobs/{job_id}/result")
+        assert status == 200 and payload["result"]["text"] == "report"
+
+    def test_duplicate_submission_of_done_job_is_cached(self, context):
+        status, payload, _ = _post(context, "/jobs", {"experiment": "table1"})
+        job_id = payload["job_id"]
+        context.queue.transition(job_id, JobState.RUNNING)
+        context.queue.transition(job_id, JobState.DONE)
+        context.store.put(job_id, {"text": "report", "rows": []})
+        status, payload, _ = _post(context, "/jobs", {"experiment": "table1"})
+        assert status == 200 and payload["cached"] is True and not payload["created"]

@@ -1,0 +1,236 @@
+"""End-to-end tests of the simulation service over real HTTP.
+
+An in-process :class:`~repro.service.server.SimulationService` on an
+ephemeral port, driven with ``urllib`` — the full submit → poll → fetch
+flow, idempotent resubmission, queue-full backpressure and restart
+recovery from the same data directory.
+
+The supervisor forks its job workers, so the tiny ``svcmini`` experiment
+registered at import time is visible inside them (fork start method, same
+trick as the orchestrator's fault-injection tests).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.experiments.orchestrator import (
+    GridFunctions,
+    register_experiment,
+    run_experiment,
+)
+from repro.service import ServiceConfig, SimulationService
+from repro.service.models import JobState
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="service workers require the fork start method",
+)
+
+EXPERIMENT = "svcmini"
+
+
+def _shards(config, options):
+    options = options or {}
+    return [{"index": index} for index in range(int(options.get("num_shards", 3)))]
+
+
+def _run_shard(params, config):
+    return {"index": params["index"], "value": 10 + params["index"]}
+
+
+def _merge(payloads, config, options):
+    rows = [dict(payload) for payload in payloads]
+    text = "values: " + ", ".join(str(row["value"]) for row in rows)
+    return text, rows
+
+
+register_experiment(EXPERIMENT, GridFunctions(_shards, _run_shard, _merge), replace=True)
+
+
+def request(url, method="GET", body=None, timeout=30):
+    """One JSON request; returns ``(status, payload, headers)``, never raises."""
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    req = urllib.request.Request(
+        url,
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as response:
+            return response.status, json.loads(response.read().decode()), dict(
+                response.headers
+            )
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode()), dict(error.headers)
+
+
+def poll_until_terminal(base, job_id, deadline_s=60.0):
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        status, payload, _ = request(f"{base}/jobs/{job_id}")
+        assert status == 200, payload
+        # "failed" is transient: the supervisor immediately re-queues the
+        # job (backoff) or marks it dead; only done/dead are terminal
+        if payload["state"] in (JobState.DONE, JobState.DEAD):
+            return payload
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} never reached a terminal state")
+
+
+@pytest.fixture
+def service(tmp_path):
+    svc = SimulationService(data_dir=str(tmp_path / "data"))
+    svc.start()
+    yield svc
+    svc.stop(drain_timeout_s=10.0)
+
+
+class TestJobFlow:
+    def test_submit_poll_fetch(self, service):
+        base = service.url
+        status, payload, _ = request(
+            f"{base}/jobs", "POST", {"experiment": EXPERIMENT, "options": {}}
+        )
+        assert status == 202 and payload["created"] is True
+        job_id = payload["job_id"]
+
+        final = poll_until_terminal(base, job_id)
+        assert final["state"] == JobState.DONE and final["result_ready"] is True
+
+        status, payload, _ = request(f"{base}/jobs/{job_id}/result")
+        assert status == 200
+        expected_text, expected_rows = run_experiment(EXPERIMENT, options={})
+        assert payload["result"]["text"] == expected_text
+        assert payload["result"]["rows"] == expected_rows
+
+    def test_duplicate_submission_joins_then_caches(self, service):
+        base = service.url
+        body = {"experiment": EXPERIMENT, "options": {"num_shards": 4}}
+        status, first, _ = request(f"{base}/jobs", "POST", body)
+        assert status == 202
+        status, second, _ = request(f"{base}/jobs", "POST", body)
+        assert status == 200
+        assert second["job_id"] == first["job_id"] and second["created"] is False
+
+        poll_until_terminal(base, first["job_id"])
+        status, third, _ = request(f"{base}/jobs", "POST", body)
+        assert status == 200 and third["cached"] is True
+
+        # a different grid is a different job
+        other = {"experiment": EXPERIMENT, "options": {"num_shards": 5}}
+        status, fourth, _ = request(f"{base}/jobs", "POST", other)
+        assert status == 202 and fourth["job_id"] != first["job_id"]
+        poll_until_terminal(base, fourth["job_id"])
+
+    def test_cancel_queued_job(self, tmp_path):
+        # no supervisor: submissions stay queued so cancellation is race-free
+        svc = SimulationService(data_dir=str(tmp_path / "data"), supervise=False)
+        svc.start()
+        try:
+            base = svc.url
+            status, payload, _ = request(
+                f"{base}/jobs", "POST", {"experiment": EXPERIMENT}
+            )
+            job_id = payload["job_id"]
+            status, payload, _ = request(f"{base}/jobs/{job_id}/cancel", "POST")
+            assert status == 503  # cancel needs a supervisor
+        finally:
+            svc.stop(drain_timeout_s=5.0)
+
+    def test_health_and_metrics(self, service):
+        base = service.url
+        assert request(f"{base}/healthz")[0] == 200
+        status, payload, _ = request(f"{base}/readyz")
+        assert status == 200 and payload["ready"] is True
+        status, payload, _ = request(f"{base}/metricsz")
+        assert status == 200 and payload["shed_level"] == "normal"
+        assert payload["queue"] == {state: 0 for state in JobState.ALL}
+
+
+class TestBackpressure:
+    def test_queue_full_submission_gets_429_with_retry_after(self, tmp_path):
+        svc = SimulationService(
+            data_dir=str(tmp_path / "data"),
+            supervise=False,  # nothing drains the queue
+            service_config=ServiceConfig(max_queue_depth=1),
+        )
+        svc.start()
+        try:
+            base = svc.url
+            status, payload, _ = request(
+                f"{base}/jobs", "POST", {"experiment": EXPERIMENT, "options": {}}
+            )
+            assert status == 202
+            status, payload, headers = request(
+                f"{base}/jobs",
+                "POST",
+                {"experiment": EXPERIMENT, "options": {"num_shards": 7}},
+            )
+            assert status == 429
+            assert int(headers["Retry-After"]) >= 1
+            # the already-admitted job is still pollable while shedding
+            first_id = request(f"{base}/jobs")[1]["jobs"][0]["job_id"]
+            assert request(f"{base}/jobs/{first_id}")[0] == 200
+        finally:
+            svc.stop(drain_timeout_s=5.0)
+
+
+class TestRestartRecovery:
+    def test_jobs_survive_a_restart(self, tmp_path):
+        data_dir = str(tmp_path / "data")
+        # first life: accept a job but never run it (no supervisor)
+        first = SimulationService(data_dir=data_dir, supervise=False)
+        first.start()
+        try:
+            status, payload, _ = request(
+                f"{first.url}/jobs", "POST", {"experiment": EXPERIMENT, "options": {}}
+            )
+            assert status == 202
+            job_id = payload["job_id"]
+        finally:
+            first.stop(drain_timeout_s=5.0)
+
+        # second life: the queued job is recovered and completed
+        second = SimulationService(data_dir=data_dir)
+        second.start()
+        try:
+            base = second.url
+            final = poll_until_terminal(base, job_id)
+            assert final["state"] == JobState.DONE
+            status, payload, _ = request(f"{base}/jobs/{job_id}/result")
+            assert status == 200
+            expected_text, _ = run_experiment(EXPERIMENT, options={})
+            assert payload["result"]["text"] == expected_text
+        finally:
+            second.stop(drain_timeout_s=10.0)
+
+    def test_done_results_survive_a_restart(self, tmp_path):
+        data_dir = str(tmp_path / "data")
+        first = SimulationService(data_dir=data_dir)
+        first.start()
+        try:
+            status, payload, _ = request(
+                f"{first.url}/jobs", "POST", {"experiment": EXPERIMENT, "options": {}}
+            )
+            job_id = payload["job_id"]
+            poll_until_terminal(first.url, job_id)
+        finally:
+            first.stop(drain_timeout_s=10.0)
+
+        second = SimulationService(data_dir=data_dir)
+        second.start()
+        try:
+            status, payload, _ = request(f"{second.url}/jobs/{job_id}")
+            assert status == 200 and payload["state"] == JobState.DONE
+            status, payload, _ = request(f"{second.url}/jobs/{job_id}/result")
+            assert status == 200
+        finally:
+            second.stop(drain_timeout_s=5.0)
