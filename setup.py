@@ -23,6 +23,7 @@ setup(
         "console_scripts": [
             "repro-experiments=repro.experiments.runner:main",
             "repro-serve=repro.service.server:main",
+            "repro-lint=repro.analysis.cli:main",
         ],
     },
 )

@@ -1,0 +1,10 @@
+"""``python -m repro.analysis`` — alias for the ``repro-lint`` script."""
+
+import sys
+
+from .cli import main
+
+__all__ = ["main"]
+
+if __name__ == "__main__":
+    sys.exit(main())

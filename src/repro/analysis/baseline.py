@@ -1,0 +1,97 @@
+"""The checked-in baseline of grandfathered findings.
+
+A baseline entry matches findings by ``(path, code, content hash of the
+offending line)`` plus an occurrence count — not by line number — so code
+motion above a grandfathered finding does not resurrect it, while *any*
+edit to the offending line itself does (the hash changes), forcing the
+editor to either fix the violation or re-justify it.
+
+The file is JSON with a stable, diff-friendly shape; regenerate it with
+``repro-lint --write-baseline``.  Strict runs (``--strict``) additionally
+fail when the baseline contains *stale* entries — grandfathered findings
+that no longer occur — so the baseline can only ever shrink silently,
+never grow.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Iterable, List, Tuple
+
+from ..exceptions import ConfigurationError
+from .findings import Finding
+
+__all__ = ["Baseline", "write_baseline"]
+
+_VERSION = 1
+
+
+class Baseline:
+    """Occurrence-counted suppression set loaded from a baseline file."""
+
+    def __init__(self, entries: Counter | None = None):
+        self.entries: Counter = Counter(entries or {})
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except OSError as error:
+            raise ConfigurationError(f"cannot read baseline {path!r}: {error}") from error
+        except ValueError as error:
+            raise ConfigurationError(f"baseline {path!r} is not valid JSON: {error}") from error
+        if not isinstance(document, dict) or document.get("version") != _VERSION:
+            raise ConfigurationError(
+                f"baseline {path!r} is not a version-{_VERSION} repro-lint baseline"
+            )
+        entries: Counter = Counter()
+        for record in document.get("entries", ()):
+            if not isinstance(record, dict):
+                raise ConfigurationError(f"baseline {path!r} has a malformed entry")
+            try:
+                key = (str(record["path"]), str(record["code"]), str(record["snippet_sha"]))
+                count = int(record.get("count", 1))
+            except (KeyError, TypeError, ValueError) as error:
+                raise ConfigurationError(
+                    f"baseline {path!r} has a malformed entry: {error}"
+                ) from error
+            entries[key] += max(1, count)
+        return cls(entries)
+
+    def apply(
+        self, findings: Iterable[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[Tuple[str, str, str]]]:
+        """Split findings into ``(kept, suppressed)`` plus stale entries.
+
+        Each baseline entry absorbs up to ``count`` matching findings; the
+        remainder of the budget (entries that matched nothing, or matched
+        fewer findings than recorded) is returned as *stale*.
+        """
+        budget = Counter(self.entries)
+        kept: List[Finding] = []
+        suppressed: List[Finding] = []
+        for finding in sorted(findings):
+            key = finding.baseline_key
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                suppressed.append(finding)
+            else:
+                kept.append(finding)
+        stale = sorted(key for key, remaining in budget.items() if remaining > 0)
+        return kept, suppressed, stale
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> int:
+    """Persist ``findings`` as the new baseline; returns the entry count."""
+    counts: Counter = Counter(finding.baseline_key for finding in findings)
+    entries = [
+        {"path": key[0], "code": key[1], "snippet_sha": key[2], "count": count}
+        for key, count in sorted(counts.items())
+    ]
+    document = {"version": _VERSION, "entries": entries}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(entries)

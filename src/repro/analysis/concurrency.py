@@ -1,0 +1,236 @@
+"""Concurrency rules (``RPR2xx``): lock discipline for threaded code.
+
+The analyzer does not require annotations.  For each class it
+
+1. finds the *lock attributes* — ``self.X = threading.Lock()`` (or
+   ``RLock``/``Condition``) assignments;
+2. infers the *guarded set* — every ``self._y`` attribute that is ever
+   read or written inside a ``with self.X:`` block is taken to be state
+   that ``X`` protects;
+3. flags any access to a guarded attribute outside a ``with`` block of
+   (one of) its observed lock(s).
+
+Construction is exempt (``__init__``/``__post_init__``/``__del__`` run
+before/after the object is shared), and so is any method whose docstring
+declares the convention ``"caller holds the lock"`` — the idiom this
+codebase already uses for private helpers invoked under an outer ``with``.
+That makes the contract machine-checked *and* self-documenting: delete the
+docstring sentence and the linter immediately demands the lock.
+
+``RPR202`` separately flags manual ``.acquire()`` calls that are not
+paired with a ``try/finally`` release — the pattern that leaks a held lock
+on any exception between acquire and release.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Set
+
+from .astutil import ancestors, dotted_name, enclosing_function, is_self_attribute
+from .registry import rule
+
+__all__ = ["check_lock_discipline", "check_manual_acquire"]
+
+#: Constructors whose result is treated as a lock object.
+_LOCK_FACTORIES = frozenset(
+    {
+        "threading.Lock", "threading.RLock", "threading.Condition",
+        "multiprocessing.Lock", "multiprocessing.RLock",
+    }
+)
+
+#: Methods that run while the object is not yet (or no longer) shared.
+_EXEMPT_METHODS = frozenset({"__init__", "__post_init__", "__new__", "__del__"})
+
+_HELD_BY_CALLER_RE = re.compile(r"caller\s+(?:must\s+)?holds?\s+(?:the\s+)?\S*lock", re.I)
+
+
+def _lock_attributes(cls: ast.ClassDef, imports) -> Set[str]:
+    """Names X where ``self.X = threading.Lock()``-style assignments occur."""
+    locks: Set[str] = set()
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+            continue
+        resolved = imports.resolve_call(node.value.func)
+        if resolved not in _LOCK_FACTORIES:
+            continue
+        for target in node.targets:
+            if is_self_attribute(target):
+                locks.add(target.attr)
+    return locks
+
+
+def _with_lock_names(node: ast.AST, locks: Set[str]) -> Set[str]:
+    """Lock attrs held at ``node`` (every enclosing ``with self.X:``)."""
+    held: Set[str] = set()
+    for ancestor in ancestors(node):
+        if isinstance(ancestor, (ast.With, ast.AsyncWith)):
+            for item in ancestor.items:
+                expression = item.context_expr
+                if is_self_attribute(expression) and expression.attr in locks:
+                    held.add(expression.attr)
+    return held
+
+
+def _is_write(node: ast.Attribute) -> bool:
+    """Whether the access stores (directly or through ``self._x[k] = v``)."""
+    if isinstance(node.ctx, (ast.Store, ast.Del)):
+        return True
+    current: ast.AST = node
+    parent = getattr(node, "parent", None)
+    while isinstance(parent, ast.Subscript) and parent.value is current:
+        if isinstance(parent.ctx, (ast.Store, ast.Del)):
+            return True
+        current, parent = parent, getattr(parent, "parent", None)
+    return False
+
+
+def _method_exempt(node: ast.AST) -> bool:
+    """Whether the enclosing method is construction or a documented helper."""
+    function = enclosing_function(node)
+    while function is not None:
+        if function.name in _EXEMPT_METHODS:
+            return True
+        docstring = ast.get_docstring(function)
+        if docstring and _HELD_BY_CALLER_RE.search(docstring):
+            return True
+        function = enclosing_function(function)
+    return False
+
+
+@rule(
+    "RPR201",
+    "lock-discipline",
+    "attributes observed under `with self._lock:` must always be accessed "
+    "under it",
+    scope="lock_paths",
+)
+def check_lock_discipline(ctx) -> List:
+    findings = []
+    for cls in ast.walk(ctx.tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        locks = _lock_attributes(cls, ctx.imports)
+        if not locks:
+            continue
+        # Bound methods read through ``self._helper(...)`` are code, not
+        # shared state — reading one is always safe.
+        methods = {
+            item.name
+            for item in cls.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        # Pass 1: infer which self._* attributes each lock guards.
+        guarded: Dict[str, Set[str]] = {}
+        accesses = []
+        for node in ast.walk(cls):
+            if not is_self_attribute(node) or node.attr in locks:
+                continue
+            if not node.attr.startswith("_") or node.attr.startswith("__"):
+                continue
+            if node.attr in methods:
+                continue
+            held = _with_lock_names(node, locks)
+            accesses.append((node, held))
+            for lock in held:
+                guarded.setdefault(node.attr, set()).add(lock)
+        # Pass 2: flag accesses to guarded attributes with none of their
+        # locks held (outside construction / documented helpers).
+        for node, held in accesses:
+            lock_set = guarded.get(node.attr)
+            if not lock_set or held & lock_set:
+                continue
+            if _method_exempt(node):
+                continue
+            lock_names = " / ".join(f"self.{name}" for name in sorted(lock_set))
+            verb = "written" if _is_write(node) else "read"
+            findings.append(
+                ctx.finding(
+                    node,
+                    "RPR201",
+                    f"self.{node.attr} is guarded by `with {lock_names}:` "
+                    f"elsewhere in {cls.name} but {verb} here without the "
+                    "lock (racy); hold the lock, or document the helper with "
+                    "'caller holds the lock'",
+                )
+            )
+    return findings
+
+
+def _releases(tree_nodes, target: Optional[str]) -> bool:
+    """Whether any node in ``tree_nodes`` calls ``<target>.release()``."""
+    for node in tree_nodes:
+        for child in ast.walk(node):
+            if (
+                isinstance(child, ast.Call)
+                and isinstance(child.func, ast.Attribute)
+                and child.func.attr == "release"
+                and dotted_name(child.func.value) == target
+            ):
+                return True
+    return False
+
+
+def _sibling_statements(statement: ast.stmt) -> List[ast.stmt]:
+    """Statements following ``statement`` in its enclosing block."""
+    parent = getattr(statement, "parent", None)
+    if parent is None:
+        return []
+    for attribute in ("body", "orelse", "finalbody"):
+        block = getattr(parent, attribute, None)
+        if isinstance(block, list) and statement in block:
+            index = block.index(statement)
+            return block[index + 1:]
+    return []
+
+
+@rule(
+    "RPR202",
+    "manual-acquire",
+    "lock.acquire() must be `with lock:` or paired with try/finally release",
+    scope="lock_paths",
+)
+def check_manual_acquire(ctx) -> List:
+    findings = []
+    for node in ast.walk(ctx.tree):
+        if (
+            not isinstance(node, ast.Call)
+            or not isinstance(node.func, ast.Attribute)
+            or node.func.attr != "acquire"
+        ):
+            continue
+        target = dotted_name(node.func.value)
+        if target is None or "lock" not in target.lower():
+            continue
+        # Acceptable shape 1: the acquire sits inside a Try whose finally
+        # releases the same object.
+        safe = False
+        for ancestor in ancestors(node):
+            if isinstance(ancestor, ast.Try) and _releases(ancestor.finalbody, target):
+                safe = True
+                break
+        # Acceptable shape 2: acquire immediately precedes such a Try.
+        if not safe:
+            statement = node
+            while statement is not None and not isinstance(statement, ast.stmt):
+                statement = getattr(statement, "parent", None)
+            if statement is not None:
+                for sibling in _sibling_statements(statement):
+                    if isinstance(sibling, ast.Try) and _releases(
+                        sibling.finalbody, target
+                    ):
+                        safe = True
+                    break
+        if not safe:
+            findings.append(
+                ctx.finding(
+                    node,
+                    "RPR202",
+                    f"{target}.acquire() without `with` or a try/finally "
+                    "release leaks the lock on any exception in between; use "
+                    f"`with {target}:`",
+                )
+            )
+    return findings

@@ -1,0 +1,84 @@
+"""Inline suppression pragmas.
+
+Two forms, both comments so they survive formatters (examples written
+without the leading hash so this docstring does not parse as a pragma):
+
+* ``repro-lint: disable=RPR103`` — suppress the listed codes (comma
+  separated, or ``all``) on *this line only*;
+* ``repro-lint: disable-file=RPR301`` — suppress the listed codes for
+  the whole file (conventionally placed near the top).
+
+Scanning is line-based, so a pragma-shaped comment inside a string
+literal counts too — keep literal pragma text out of docstrings.
+
+Unknown text after ``repro-lint:`` is an error finding (``RPR002``) rather
+than a silent no-op — a typoed pragma that quietly suppressed nothing is
+exactly the kind of rot this linter exists to prevent.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from .findings import Finding
+
+__all__ = ["PragmaTable", "parse_pragmas", "BAD_PRAGMA_CODE"]
+
+#: Emitted for a malformed ``repro-lint:`` comment.
+BAD_PRAGMA_CODE = "RPR002"
+
+_PRAGMA_RE = re.compile(r"#\s*repro-lint:\s*(?P<body>[^#]*)")
+_DIRECTIVE_RE = re.compile(
+    r"^(?P<kind>disable|disable-file)\s*=\s*(?P<codes>[A-Za-z0-9,\s]+)$"
+)
+
+
+@dataclass
+class PragmaTable:
+    """Parsed suppressions for one file."""
+
+    line_disables: Dict[int, Set[str]] = field(default_factory=dict)
+    file_disables: Set[str] = field(default_factory=set)
+    #: Malformed pragmas, reported as findings by the engine.
+    errors: List[Finding] = field(default_factory=list)
+
+    def suppresses(self, code: str, line: int) -> bool:
+        if "all" in self.file_disables or code in self.file_disables:
+            return True
+        at_line = self.line_disables.get(line, ())
+        return "all" in at_line or code in at_line
+
+
+def parse_pragmas(lines: List[str], path: str) -> PragmaTable:
+    """Scan source ``lines`` (1-indexed reporting) for pragma comments."""
+    table = PragmaTable()
+    for number, text in enumerate(lines, start=1):
+        pragma = _PRAGMA_RE.search(text)
+        if pragma is None:
+            continue
+        directive = _DIRECTIVE_RE.match(pragma.group("body").strip())
+        if directive is None:
+            table.errors.append(
+                Finding(
+                    path=path,
+                    line=number,
+                    col=pragma.start() + 1,
+                    code=BAD_PRAGMA_CODE,
+                    message=(
+                        "malformed repro-lint pragma (expected "
+                        "'disable=CODE[,CODE...]' or 'disable-file=CODE[,CODE...]')"
+                    ),
+                    snippet=text.strip(),
+                )
+            )
+            continue
+        codes = {
+            chunk.strip() for chunk in directive.group("codes").split(",") if chunk.strip()
+        }
+        if directive.group("kind") == "disable":
+            table.line_disables.setdefault(number, set()).update(codes)
+        else:
+            table.file_disables.update(codes)
+    return table

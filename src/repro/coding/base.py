@@ -79,6 +79,7 @@ __all__ = [
     "LinearBlockCode",
     "encode_blocks",
     "decode_blocks",
+    "decode_blocks_scalar",
     "encode_blocks_packed",
     "decode_blocks_packed",
 ]

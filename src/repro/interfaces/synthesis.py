@@ -17,7 +17,7 @@ from .receiver import ReceiverInterface
 from .techlib import BlockCharacterisation, FDSOI_28NM, TechnologyLibrary
 from .transmitter import H71_MODE, H74_MODE, UNCODED_MODE, TransmitterInterface
 
-__all__ = ["SynthesisReport", "synthesize_interfaces", "PAPER_MODES"]
+__all__ = ["SynthesisReport", "synthesize_interfaces", "ModeTotals", "PAPER_MODES"]
 
 PAPER_MODES = (H74_MODE, H71_MODE, UNCODED_MODE)
 """Communication modes reported in Table I, in the paper's row order."""

@@ -109,9 +109,13 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TransmissionOutcome:
-    """What happened to the packets of one (re)transmission attempt."""
+    """What happened to the packets of one (re)transmission attempt.
+
+    ``slots=True``: the engine materialises one of these per transmission
+    attempt, so the instance dict would be pure allocation overhead.
+    """
 
     packets: int
     failed_detected: int
@@ -155,6 +159,13 @@ class ProbabilisticOutcomeSampler:
     The packet-level ``delivered_with_errors`` flag stays frame-wide: any
     failed block marks the packet, payload-touching or not.
     """
+
+    __slots__ = (
+        "code", "raw_ber", "packet_bits", "crc_width", "blocks_per_packet",
+        "_rng", "undetected_probability", "_payload_fraction",
+        "_failure_params", "_disturb_cache", "_attempt_failure_cache",
+        "block_failure_probability", "_residual_rate",
+    )
 
     def __init__(
         self,
@@ -436,6 +447,11 @@ class BitExactOutcomeSampler:
     draw entirely, and independent flips are sampled by exact binomial
     thinning (:meth:`~repro.simulation.faults.IndependentErrorModel.sparse_error_positions`).
     """
+
+    __slots__ = (
+        "code", "error_model", "packet_bits", "crc", "crc_width",
+        "blocks_per_packet", "_rng", "_payload_masks", "_protected_masks",
+    )
 
     def __init__(
         self,

@@ -73,8 +73,10 @@ class Job:
     attempts: int = 0
     #: Deterministic failures observed (the circuit breaker's counter).
     deterministic_failures: int = 0
-    #: Wall-clock time before which the queue must not hand the job out
-    #: again (exponential-backoff retries).  ``0.0`` means immediately.
+    #: Monotonic-clock deadline (``time.monotonic`` domain) before which
+    #: the queue must not hand the job out again (exponential-backoff
+    #: retries).  ``0.0`` means immediately.  Only meaningful inside the
+    #: process that wrote it — queue recovery resets it on restart.
     not_before_s: float = 0.0
     created_s: float = field(default_factory=time.time)
     updated_s: float = field(default_factory=time.time)
@@ -106,6 +108,14 @@ class Job:
             + (1 if charge_deterministic else 0),
             updated_s=time.time(),
         )
+
+    def rescheduled(self, not_before_s: float) -> "Job":
+        """The same record with only its backoff deadline replaced.
+
+        Not a state transition — used by queue recovery to forget a dead
+        process's monotonic-clock backoff deadline.
+        """
+        return replace(self, not_before_s=float(not_before_s), updated_s=time.time())
 
     def requeued(self) -> "Job":
         """A fresh ``queued`` copy of a terminal job (damage resubmission).

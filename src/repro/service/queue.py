@@ -93,7 +93,9 @@ class DurableJobQueue:
                 if job is None:
                     continue
                 if job.state in (JobState.RUNNING, JobState.FAILED):
-                    job = job.transitioned(JobState.QUEUED, error=job.error)
+                    job = job.transitioned(
+                        JobState.QUEUED, error=job.error, not_before_s=0.0
+                    )
                     self._persist(job)
                     requeued.append(job.job_id)
                     logger.info(
@@ -101,6 +103,13 @@ class DurableJobQueue:
                         job.job_id,
                         job.experiment,
                     )
+                elif job.state == JobState.QUEUED and job.not_before_s:
+                    # Backoff deadlines are monotonic-clock values of the
+                    # process that wrote them — meaningless (and possibly
+                    # starving) in this process.  Forgetting the pending
+                    # backoff on restart is safe: one immediate retry.
+                    job = job.rescheduled(0.0)
+                    self._persist(job)
                 self._jobs[job.job_id] = job
             if any(job.state == JobState.QUEUED for job in self._jobs.values()):
                 self.work_available.set()
@@ -182,8 +191,12 @@ class DurableJobQueue:
 
         Jobs whose retry backoff has not elapsed (``not_before_s`` in the
         future) are skipped; ``None`` means nothing is claimable right now.
+        Deadlines live on the **monotonic** clock (``time.monotonic``), so
+        an NTP step or wall-clock jump can neither fire a backoff early
+        nor starve it; :meth:`recover` resets deadlines written by a dead
+        process, whose monotonic epoch was different.
         """
-        now = time.time() if now_s is None else now_s
+        now = time.monotonic() if now_s is None else now_s
         with self._lock:
             eligible = [
                 job
@@ -204,7 +217,7 @@ class DurableJobQueue:
 
     def next_retry_delay_s(self, now_s: float | None = None) -> float | None:
         """Seconds until the earliest backoff-pending queued job is ready."""
-        now = time.time() if now_s is None else now_s
+        now = time.monotonic() if now_s is None else now_s
         with self._lock:
             pending = [
                 job.not_before_s - now

@@ -29,7 +29,7 @@ import threading
 from dataclasses import asdict
 from typing import Any, Dict, Tuple
 
-__all__ = ["ResultsStore", "PersistentDesignCache"]
+__all__ = ["ResultsStore", "PersistentDesignCache", "quarantine"]
 
 logger = logging.getLogger("repro.service.store")
 
@@ -177,24 +177,25 @@ class PersistentDesignCache:
                 continue
             name, n, k, target = record["key"]
             salvaged[(str(name), int(n), int(k), float(target))] = record["point"]
+        with self._lock:
+            self._points = salvaged
         if damaged:
             quarantine(self.path)
             # Rewrite the surviving records so the file is clean again.
-            self._points = salvaged
             self._rewrite()
-        else:
-            self._points = salvaged
 
     def _rewrite(self) -> None:
         directory = os.path.dirname(self.path) or "."
         os.makedirs(directory, exist_ok=True)
+        with self._lock:
+            lines = [self._record_line(key, self._points[key]) for key in sorted(self._points)]
         descriptor, temp_path = tempfile.mkstemp(
             dir=directory, prefix=f".{os.path.basename(self.path)}.", suffix=".tmp"
         )
         try:
             with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-                for key in sorted(self._points):
-                    handle.write(self._record_line(key, self._points[key]))
+                for line in lines:
+                    handle.write(line)
             os.replace(temp_path, self.path)
         except BaseException:
             if os.path.exists(temp_path):
@@ -212,7 +213,8 @@ class PersistentDesignCache:
         return json.dumps(record) + "\n"
 
     def __len__(self) -> int:
-        return len(self._points)
+        with self._lock:
+            return len(self._points)
 
     # ------------------------------------------------- designer cache protocol
     def load(self, key: Tuple):
@@ -222,7 +224,8 @@ class PersistentDesignCache:
         pulling the photonics stack in (the queue/store tier has no
         designer dependency).
         """
-        stored = self._points.get((str(key[0]), int(key[1]), int(key[2]), float(key[3])))
+        with self._lock:
+            stored = self._points.get((str(key[0]), int(key[1]), int(key[2]), float(key[3])))
         if stored is None:
             return None
         from ..link.design import LinkDesignPoint

@@ -164,6 +164,8 @@ class Supervisor(threading.Thread):
         self.registry = registry
         self._context = multiprocessing.get_context("fork")
         self._stop_event = threading.Event()
+        #: Guards ``_active`` and ``_cancel_requested`` — both are touched
+        #: by API threads (cancel/stop) while the supervisor loop runs.
         self._active_lock = threading.Lock()
         self._active: "tuple[str, multiprocessing.process.BaseProcess] | None" = None
         self._cancel_requested: set[str] = set()
@@ -195,8 +197,8 @@ class Supervisor(threading.Thread):
         if job.state == JobState.QUEUED:
             return self.queue.transition(job_id, JobState.DEAD, error="cancelled by request")
         if job.state == JobState.RUNNING:
-            self._cancel_requested.add(job_id)
             with self._active_lock:
+                self._cancel_requested.add(job_id)
                 active = self._active
             if active is not None and active[0] == job_id:
                 self._terminate(active[1])
@@ -234,7 +236,10 @@ class Supervisor(threading.Thread):
                         error="supervisor error; see service log",
                     )
                 except Exception:  # noqa: BLE001
-                    pass
+                    logger.exception(
+                        "could not mark job %s dead after a supervisor error",
+                        job.job_id,
+                    )
 
     # ----------------------------------------------------------------- attempts
     def _terminate(self, process) -> None:
@@ -315,8 +320,10 @@ class Supervisor(threading.Thread):
             self._record_attempt(job.job_id, "drained", detail)
             self.queue.transition(job.job_id, JobState.QUEUED, error="interrupted by shutdown")
             return
-        if job.job_id in self._cancel_requested:
+        with self._active_lock:
+            cancel_requested = job.job_id in self._cancel_requested
             self._cancel_requested.discard(job.job_id)
+        if cancel_requested:
             self._record_attempt(job.job_id, "cancelled", detail)
             self._finalize(
                 self.queue.transition(job.job_id, JobState.DEAD, error="cancelled by request")
@@ -387,11 +394,14 @@ class Supervisor(threading.Thread):
         logger.warning(
             "job %s attempt failed (%s); retrying in %.2fs", job.job_id, reason, delay
         )
+        # Monotonic, not wall clock: an NTP step or DST jump must never
+        # fire a backoff early or starve it (wall time stays confined to
+        # the human-facing manifest/record timestamps).
         self.queue.transition(
             failed.job_id,
             JobState.QUEUED,
             error=reason,
-            not_before_s=time.time() + delay,
+            not_before_s=time.monotonic() + delay,
         )
         self._inc("service.jobs.retried")
 

@@ -17,6 +17,7 @@ import numpy as np
 
 __all__ = [
     "db_to_linear",
+    "ensure_monotonic",
     "linear_to_db",
     "db_loss_to_transmission",
     "transmission_to_db_loss",

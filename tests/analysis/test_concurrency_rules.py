@@ -1,0 +1,193 @@
+"""Fixture suite for the RPR2xx lock-discipline analyzer.
+
+The centrepiece is :data:`SEEDED_RACE`: a stats-counter race distilled
+from the service layer's shape.  It is exactly the class of bug the
+service chaos tests cannot reliably catch — a read-modify-write that only
+corrupts state when two threads interleave inside a two-bytecode window —
+and the static analyzer flags it deterministically, every run.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import lint_source
+
+SERVICE_PATH = "repro/service/fixture.py"
+
+
+def findings_for(source: str, path: str = SERVICE_PATH):
+    return lint_source(textwrap.dedent(source), path=path)
+
+
+def codes(source: str, path: str = SERVICE_PATH) -> list:
+    return [finding.code for finding in findings_for(source, path)]
+
+
+#: A seeded fixture race: ``record_success`` bumps the stats map without
+#: the lock that every other access holds.  Chaos tests would need the
+#: supervisor thread and an API thread to collide inside the += window to
+#: see a lost update; the analyzer sees it statically.
+SEEDED_RACE = """
+import threading
+
+class JobStats:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counts = {}
+        self._dead = 0
+
+    def charge(self, key):
+        with self._lock:
+            self._counts[key] = self._counts.get(key, 0) + 1
+
+    def mark_dead(self):
+        with self._lock:
+            self._dead += 1
+
+    def record_success(self, key):
+        # RACY: read-modify-write of the guarded map, no lock held.
+        self._counts[key] = self._counts.get(key, 0) + 1
+
+    def snapshot(self):
+        with self._lock:
+            return dict(self._counts), self._dead
+"""
+
+
+class TestLockDiscipline:
+    def test_seeded_stats_race_is_flagged(self):
+        race_findings = [
+            finding for finding in findings_for(SEEDED_RACE) if finding.code == "RPR201"
+        ]
+        # Both the write and the .get() read on the racy line are outside
+        # the lock.
+        assert race_findings, "the seeded race must be flagged"
+        assert all("_counts" in finding.message for finding in race_findings)
+        assert any("written" in finding.message for finding in race_findings)
+
+    def test_consistently_locked_class_is_clean(self):
+        source = SEEDED_RACE.replace(
+            "        # RACY: read-modify-write of the guarded map, no lock held.\n"
+            "        self._counts[key] = self._counts.get(key, 0) + 1",
+            "        with self._lock:\n"
+            "            self._counts[key] = self._counts.get(key, 0) + 1",
+        )
+        assert codes(source) == []
+
+    def test_init_is_exempt(self):
+        source = """
+        import threading
+        class Holder:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._value = 0
+            def bump(self):
+                with self._lock:
+                    self._value += 1
+        """
+        assert codes(source) == []
+
+    def test_caller_holds_the_lock_docstring_exempts_helper(self):
+        source = """
+        import threading
+        class Spool:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._jobs = {}
+            def submit(self, job_id, job):
+                with self._lock:
+                    self._jobs[job_id] = job
+                    self._persist(job_id)
+            def _persist(self, job_id):
+                \"\"\"Write one record (caller holds the lock).\"\"\"
+                return self._jobs[job_id]
+        """
+        assert codes(source) == []
+
+    def test_undocumented_helper_is_flagged(self):
+        source = """
+        import threading
+        class Spool:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._jobs = {}
+            def submit(self, job_id, job):
+                with self._lock:
+                    self._jobs[job_id] = job
+            def peek(self, job_id):
+                return self._jobs.get(job_id)
+        """
+        assert codes(source) == ["RPR201"]
+
+    def test_unlocked_class_infers_nothing(self):
+        # No lock attribute -> no discipline to enforce.
+        source = """
+        class Plain:
+            def __init__(self):
+                self._value = 0
+            def bump(self):
+                self._value += 1
+        """
+        assert codes(source) == []
+
+    def test_scope_excludes_non_service_paths(self):
+        assert codes(SEEDED_RACE, path="repro/netsim/fixture.py") == []
+
+    def test_bound_method_reads_are_not_state(self):
+        source = """
+        import threading
+        class Writer:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._rows = []
+            def add(self, row):
+                with self._lock:
+                    self._rows.append(self._shape(row))
+            def _shape(self, row):
+                return tuple(row)
+            def render(self):
+                return self._shape((1, 2))
+        """
+        assert codes(source) == []
+
+
+class TestManualAcquire:
+    def test_bare_acquire_is_flagged(self):
+        source = """
+        import threading
+        class Worker:
+            def __init__(self):
+                self._lock = threading.Lock()
+            def run(self):
+                self._lock.acquire()
+                self._lock.release()
+        """
+        assert "RPR202" in codes(source)
+
+    def test_try_finally_acquire_is_fine(self):
+        source = """
+        import threading
+        class Worker:
+            def __init__(self):
+                self._lock = threading.Lock()
+            def run(self):
+                self._lock.acquire()
+                try:
+                    pass
+                finally:
+                    self._lock.release()
+        """
+        assert codes(source) == []
+
+    def test_with_statement_is_fine(self):
+        source = """
+        import threading
+        class Worker:
+            def __init__(self):
+                self._lock = threading.Lock()
+            def run(self):
+                with self._lock:
+                    pass
+        """
+        assert codes(source) == []

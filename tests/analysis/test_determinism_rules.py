@@ -1,0 +1,147 @@
+"""Fixture suite for the RPR1xx determinism rules.
+
+Every rule gets at least one positive case (the invariant violation is
+flagged) and one negative case (the blessed idiom stays silent), so a
+rule that stops firing — or starts over-firing — fails here before it
+rots the codebase.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import lint_source
+
+#: A path inside the configured deterministic subtrees (RPR103/RPR104).
+SIM_PATH = "repro/netsim/fixture.py"
+#: A path outside them (scoped rules must stay silent here).
+TOOL_PATH = "repro/obs/fixture.py"
+
+
+def codes(source: str, path: str = SIM_PATH) -> list:
+    return [finding.code for finding in lint_source(textwrap.dedent(source), path=path)]
+
+
+class TestGlobalStdlibRandom:
+    def test_module_level_call_is_flagged(self):
+        assert codes("import random\nx = random.random()\n") == ["RPR101"]
+
+    def test_seed_and_shuffle_are_flagged(self):
+        source = """
+        import random
+        random.seed(7)
+        random.shuffle([1, 2])
+        """
+        assert codes(source) == ["RPR101", "RPR101"]
+
+    def test_from_import_of_global_fn_is_flagged(self):
+        assert codes("from random import randint\n") == ["RPR101"]
+
+    def test_unseeded_random_instance_is_flagged(self):
+        assert codes("import random\nr = random.Random()\n") == ["RPR101"]
+
+    def test_seeded_random_instance_is_fine(self):
+        assert codes("import random\nr = random.Random('job:3')\n") == []
+
+    def test_aliased_import_is_still_caught(self):
+        assert codes("import random as rnd\nx = rnd.uniform(0, 1)\n") == ["RPR101"]
+
+    def test_local_object_named_random_is_not_confused(self):
+        # ``rng.random()`` is a Generator method, not the random module.
+        assert codes("def f(rng):\n    return rng.random()\n") == []
+
+
+class TestNumpyRngDiscipline:
+    def test_legacy_global_api_is_flagged(self):
+        source = """
+        import numpy as np
+        np.random.seed(0)
+        x = np.random.rand(4)
+        """
+        assert codes(source) == ["RPR102", "RPR102"]
+
+    def test_randomstate_is_flagged_even_seeded(self):
+        assert codes("import numpy as np\nr = np.random.RandomState(3)\n") == ["RPR102"]
+
+    def test_unseeded_default_rng_outside_whitelist_is_flagged(self):
+        source = """
+        import numpy as np
+        def draw():
+            return np.random.default_rng().random()
+        """
+        assert codes(source) == ["RPR102"]
+
+    def test_unseeded_default_rng_in_init_is_fine(self):
+        source = """
+        import numpy as np
+        class Channel:
+            def __init__(self, rng=None):
+                self._rng = rng if rng is not None else np.random.default_rng()
+        """
+        assert codes(source) == []
+
+    def test_unseeded_default_rng_in_resolve_rng_is_fine(self):
+        source = """
+        import numpy as np
+        def resolve_rng(rng=None, seed=None):
+            if rng is not None:
+                return rng
+            if seed is not None:
+                return np.random.default_rng(seed)
+            return np.random.default_rng()
+        """
+        assert codes(source) == []
+
+    def test_seeded_default_rng_is_fine(self):
+        assert codes("import numpy as np\nr = np.random.default_rng(42)\n") == []
+
+    def test_from_import_form_is_resolved(self):
+        source = """
+        from numpy.random import default_rng
+        def f():
+            return default_rng()
+        """
+        assert codes(source) == ["RPR102"]
+
+
+class TestWallClock:
+    def test_time_time_on_sim_path_is_flagged(self):
+        assert codes("import time\nt = time.time()\n") == ["RPR103"]
+
+    def test_datetime_now_on_sim_path_is_flagged(self):
+        source = """
+        from datetime import datetime
+        stamp = datetime.now()
+        """
+        assert codes(source) == ["RPR103"]
+
+    def test_monotonic_and_perf_counter_are_fine(self):
+        source = """
+        import time
+        a = time.monotonic()
+        b = time.perf_counter()
+        """
+        assert codes(source) == []
+
+    def test_wall_clock_outside_sim_paths_is_fine(self):
+        assert codes("import time\nt = time.time()\n", path=TOOL_PATH) == []
+
+
+class TestUnorderedIteration:
+    def test_for_over_set_literal_is_flagged(self):
+        assert codes("for x in {1, 2, 3}:\n    pass\n") == ["RPR104"]
+
+    def test_for_over_set_call_is_flagged(self):
+        assert codes("for x in set([3, 1]):\n    pass\n") == ["RPR104"]
+
+    def test_comprehension_over_set_is_flagged(self):
+        assert codes("grid = [x for x in {1, 2}]\n") == ["RPR104"]
+
+    def test_sorted_set_is_fine(self):
+        assert codes("for x in sorted({3, 1}):\n    pass\n") == []
+
+    def test_popitem_is_flagged(self):
+        assert codes("def f(d):\n    return d.popitem()\n") == ["RPR104"]
+
+    def test_outside_sim_paths_is_fine(self):
+        assert codes("for x in {1, 2}:\n    pass\n", path=TOOL_PATH) == []

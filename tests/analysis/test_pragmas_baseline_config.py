@@ -1,0 +1,168 @@
+"""Pragmas, baselines and configuration — the suppression machinery.
+
+These are the pieces that make the linter adoptable on a living codebase:
+inline pragmas for justified one-offs, a checked-in baseline for
+grandfathered findings, and per-path configuration for whole subtrees.
+Each has a failure mode (typo'd pragma, stale baseline, unknown config
+key) that must fail loudly rather than silently disable a rule.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    DEFAULT_CONFIG,
+    LintConfig,
+    lint_source,
+    load_config,
+    normalize_path,
+    write_baseline,
+)
+from repro.exceptions import ConfigurationError
+
+SIM_PATH = "repro/netsim/fixture.py"
+
+#: Two RPR101 violations on separate lines.
+DIRTY = "import random\na = random.random()\nb = random.random()\n"
+
+
+def findings_for(source: str, path: str = SIM_PATH, config: LintConfig = DEFAULT_CONFIG):
+    return lint_source(textwrap.dedent(source), path=path, config=config)
+
+
+class TestPragmas:
+    def test_line_pragma_suppresses_only_its_line(self):
+        source = (
+            "import random\n"
+            "a = random.random()  # repro-lint: disable=RPR101\n"
+            "b = random.random()\n"
+        )
+        findings = findings_for(source)
+        assert [finding.code for finding in findings] == ["RPR101"]
+        assert findings[0].line == 3
+
+    def test_line_pragma_takes_multiple_codes(self):
+        source = (
+            "import random, time\n"
+            "a = random.random()  # repro-lint: disable=RPR101,RPR103\n"
+            "t = time.time()  # repro-lint: disable=RPR103\n"
+        )
+        assert findings_for(source) == []
+
+    def test_file_pragma_suppresses_everywhere(self):
+        source = "# repro-lint: disable-file=RPR101\n" + DIRTY
+        assert findings_for(source) == []
+
+    def test_pragma_does_not_suppress_other_codes(self):
+        source = "import time\nt = time.time()  # repro-lint: disable=RPR101\n"
+        assert [finding.code for finding in findings_for(source)] == ["RPR103"]
+
+    def test_malformed_pragma_is_its_own_finding(self):
+        source = "x = 1  # repro-lint: disalbe=RPR101\n"
+        findings = findings_for(source)
+        assert [finding.code for finding in findings] == ["RPR002"]
+
+    def test_syntax_error_reports_rpr001(self):
+        findings = findings_for("def broken(:\n")
+        assert [finding.code for finding in findings] == ["RPR001"]
+
+
+class TestBaseline:
+    def test_roundtrip_suppresses_grandfathered_findings(self, tmp_path):
+        findings = findings_for(DIRTY)
+        assert len(findings) == 2
+        baseline_path = tmp_path / "baseline.json"
+        count = write_baseline(str(baseline_path), findings)
+        # The two offending lines differ, so each gets its own entry.
+        assert count == 2
+        baseline = Baseline.load(str(baseline_path))
+        kept, suppressed, stale = baseline.apply(findings_for(DIRTY))
+        assert kept == []
+        assert len(suppressed) == 2
+        assert stale == []
+
+    def test_new_findings_are_not_absorbed(self, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(str(baseline_path), findings_for(DIRTY))
+        worse = DIRTY + "c = random.random()\nimport time\nt = time.time()\n"
+        kept, suppressed, _ = Baseline.load(str(baseline_path)).apply(findings_for(worse))
+        # The two grandfathered lines are absorbed; the new line and the
+        # new wall-clock read stay live findings.
+        assert len(suppressed) == 2
+        assert sorted(finding.code for finding in kept) == ["RPR101", "RPR103"]
+
+    def test_fixed_findings_become_stale_entries(self, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(str(baseline_path), findings_for(DIRTY))
+        kept, suppressed, stale = Baseline.load(str(baseline_path)).apply([])
+        assert kept == [] and suppressed == []
+        assert len(stale) == 2
+        assert all(code == "RPR101" for _path, code, _sha in stale)
+
+    def test_editing_the_offending_line_invalidates_the_entry(self, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(str(baseline_path), findings_for(DIRTY))
+        edited = DIRTY.replace("a = random.random()", "a = 2 * random.random()")
+        kept, suppressed, stale = Baseline.load(str(baseline_path)).apply(
+            findings_for(edited)
+        )
+        # The edited line hashes differently: it resurfaces as a live
+        # finding while the old entry for it goes stale.
+        assert len(kept) == 1 and len(suppressed) == 1
+        assert len(stale) == 1
+
+    def test_malformed_baseline_is_a_configuration_error(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text(json.dumps({"version": 99}), encoding="utf-8")
+        with pytest.raises(ConfigurationError):
+            Baseline.load(str(bad))
+
+    def test_unreadable_baseline_is_a_configuration_error(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            Baseline.load(str(tmp_path / "missing.json"))
+
+
+class TestConfig:
+    def test_per_path_disable(self):
+        config = LintConfig(per_path_disable={"repro/netsim/*": ("RPR101",)})
+        assert findings_for(DIRTY, config=config) == []
+        assert len(findings_for(DIRTY, path="repro/coding/fixture.py", config=config)) == 2
+
+    def test_select_runs_only_named_codes(self):
+        config = LintConfig(select=("RPR103",))
+        source = DIRTY + "import time\nt = time.time()\n"
+        assert [finding.code for finding in findings_for(source, config=config)] == ["RPR103"]
+
+    def test_ignore_drops_named_codes(self):
+        config = LintConfig(ignore=("RPR101",))
+        assert findings_for(DIRTY, config=config) == []
+
+    def test_load_config_overrides_fields(self, tmp_path):
+        config_path = tmp_path / "lint.json"
+        config_path.write_text(
+            json.dumps({"deterministic_paths": ["repro/custom/*"]}), encoding="utf-8"
+        )
+        config = load_config(str(config_path))
+        assert config.deterministic_paths == ("repro/custom/*",)
+        # Wall clock now allowed on netsim paths, forbidden on the custom one.
+        wall = "import time\nt = time.time()\n"
+        assert findings_for(wall, config=config) == []
+        assert len(findings_for(wall, path="repro/custom/run.py", config=config)) == 1
+
+    def test_load_config_rejects_unknown_keys(self, tmp_path):
+        config_path = tmp_path / "lint.json"
+        config_path.write_text(json.dumps({"determinstic_paths": []}), encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="unknown lint config key"):
+            load_config(str(config_path))
+
+    def test_normalize_path_cuts_at_repro_package(self):
+        assert normalize_path("src/repro/service/queue.py") == "repro/service/queue.py"
+        assert normalize_path("/abs/checkout/src/repro/netsim/core.py") == (
+            "repro/netsim/core.py"
+        )
+        assert normalize_path("./tools/script.py") == "tools/script.py"

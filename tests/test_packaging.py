@@ -1,0 +1,54 @@
+"""Packaging sanity: every declared console script resolves to a callable.
+
+Entry points are only exercised at install time, which no unit test does;
+a typo in ``setup.py`` would otherwise surface as a broken console script
+on a user's machine.  This test parses the declarations out of ``setup.py``
+with ``ast`` (no setuptools import, no install) and imports each target.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+import os
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SETUP_PY = os.path.join(REPO_ROOT, "setup.py")
+
+
+def _console_scripts() -> dict:
+    """``{script_name: "module:attr"}`` parsed from setup.py's entry_points."""
+    tree = ast.parse(open(SETUP_PY, encoding="utf-8").read())
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.keyword) and node.arg == "entry_points"):
+            continue
+        mapping = ast.literal_eval(node.value)
+        scripts = {}
+        for declaration in mapping.get("console_scripts", []):
+            name, _, target = declaration.partition("=")
+            scripts[name.strip()] = target.strip()
+        return scripts
+    raise AssertionError("setup.py declares no entry_points")
+
+
+SCRIPTS = _console_scripts()
+
+
+def test_repro_lint_script_is_declared():
+    assert SCRIPTS.get("repro-lint") == "repro.analysis.cli:main"
+
+
+@pytest.mark.parametrize("name", sorted(SCRIPTS))
+def test_console_script_targets_are_importable(name):
+    module_name, _, attribute = SCRIPTS[name].partition(":")
+    module = importlib.import_module(module_name)
+    target = getattr(module, attribute)
+    assert callable(target), f"{name} -> {SCRIPTS[name]} is not callable"
+
+
+def test_repro_lint_main_accepts_argv():
+    from repro.analysis.cli import main
+
+    assert main(["--list-rules"]) == 0
